@@ -1,0 +1,48 @@
+"""Sections 5.1 and 8 — WiForce vs the implemented baselines.
+
+Paper claims: (a) location accuracy ~5x better than RFID-touch systems
+whose errors sit at centimetre (tag-pitch) granularity; (b) RSS
+resonance-notch strain sensing breaks under static indoor multipath,
+while WiForce's differential phase is immune to it.
+"""
+
+from repro.experiments import runners
+
+
+def test_baseline_comparison(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: runners.run_baseline_comparison(fast=False),
+        rounds=1, iterations=1)
+
+    lines = [
+        "contact localization (median |error|):",
+        f"  WiForce            : "
+        f"{result.wiforce_location_median_m * 1e3:8.3f} mm",
+        f"  RFID touch array   : "
+        f"{result.rfid_location_median_m * 1e3:8.3f} mm",
+        f"  advantage          : {result.location_advantage:.1f}x "
+        "(paper: ~5x or more)",
+        "",
+        "RSS notch strain sensing (median strain error):",
+        f"  anechoic channel   : {result.strain_error_clean:.4f}",
+        f"  indoor multipath   : {result.strain_error_multipath:.4f}",
+        f"  degradation        : {result.multipath_degradation:.1f}x",
+        "paper shape: WiForce localizes far below tag pitch; RSS strain "
+        "sensing collapses outside the anechoic chamber (section 8)",
+    ]
+    from repro.baselines.vision_haptics import latency_comparison
+    latency = latency_comparison()
+    lines += [
+        "",
+        "feedback latency vs vision-based haptics (section 6):",
+        f"  vision pipeline    : {latency['vision_latency_s'] * 1e3:6.1f} ms"
+        f" (meets 50 ms slip deadline: "
+        f"{latency['vision_meets_slip_deadline']})",
+        f"  WiForce            : "
+        f"{latency['wiforce_latency_s'] * 1e3:6.1f} ms (meets deadline: "
+        f"{latency['wiforce_meets_slip_deadline']})",
+    ]
+    report("baseline_comparison", "\n".join(lines))
+
+    assert result.location_advantage > 5.0
+    assert result.multipath_degradation > 3.0

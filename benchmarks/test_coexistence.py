@@ -1,0 +1,109 @@
+"""Coexistence benches: Wi-Fi interference and tag orientation.
+
+The paper pitches WiForce as coexisting with commodity Wi-Fi; these
+benches quantify the two deployment stresses that come with that:
+bursty co-channel traffic corrupting sounding frames, and tags mounted
+at arbitrary orientations.
+"""
+
+import numpy as np
+
+from repro.channel.interference import (
+    BurstyInterferer,
+    corrupt_stream,
+    excise_interference,
+)
+from repro.channel.propagation import BackscatterLink
+from repro.core.calibration import harmonic_differential_phases
+from repro.core.harmonics import HarmonicExtractor, integer_period_group_length
+from repro.core.phase import differential_phase
+from repro.experiments.scenarios import default_transducer
+from repro.reader.sounder import FrameLevelSounder
+from repro.reader.waveform import OFDMSounderConfig
+from repro.rf.antenna import OrientedLinkBudget
+from repro.sensor.tag import TagState, WiForceTag
+
+
+def test_interference_excision(benchmark, report):
+    """Bursty traffic corrupts the differential phase; excision fixes it."""
+
+    def run():
+        carrier = 900e6
+        config = OFDMSounderConfig(carrier_frequency=carrier)
+        tag = WiForceTag(default_transducer())
+        group = integer_period_group_length(config.frame_period, 1e3)
+        tones = (tag.clocking.readout_port1, tag.clocking.readout_port2)
+        extractor = HarmonicExtractor(tones=tones, group_length=group)
+        state = TagState(4.0, 0.040)
+        expected = harmonic_differential_phases(tag, carrier, 4.0, 0.040)
+
+        def phase_error(base_stream, touch_stream):
+            b = extractor.extract(base_stream)
+            t = extractor.extract(touch_stream)
+            phi = differential_phase(b[tones[0]].values.mean(axis=0),
+                                     t[tones[0]].values.mean(axis=0))
+            return abs(np.degrees(phi - expected[0]))
+
+        clean_errors = []
+        corrupted_errors = []
+        excised_errors = []
+        for trial in range(6):
+            rng = np.random.default_rng(81 + trial)
+            sounder = FrameLevelSounder(config, tag, BackscatterLink(),
+                                        rng=rng)
+            base = sounder.capture(TagState(), 2 * group)
+            touch = sounder.capture(state, 2 * group,
+                                    start_time=base.duration)
+            interferer = BurstyInterferer(
+                duty=0.15, interference_to_signal_db=0.0)
+            base_hit, _ = corrupt_stream(base, interferer, rng)
+            touch_hit, _ = corrupt_stream(touch, interferer, rng)
+            clean_errors.append(phase_error(base, touch))
+            corrupted_errors.append(phase_error(base_hit, touch_hit))
+            excised_errors.append(phase_error(
+                excise_interference(base_hit)[0],
+                excise_interference(touch_hit)[0]))
+        return (float(np.median(clean_errors)),
+                float(np.median(corrupted_errors)),
+                float(np.median(excised_errors)))
+
+    clean, corrupted, excised = benchmark.pedantic(run, rounds=1,
+                                                   iterations=1)
+    lines = [
+        f"phase error, clean band            : {clean:6.3f} deg",
+        f"phase error, 15% bursty Wi-Fi      : {corrupted:6.3f} deg",
+        f"phase error, after frame excision  : {excised:6.3f} deg",
+        "reading: median-frame excision removes the detected bursts "
+        "and roughly halves the residual phase error; the remainder "
+        "comes from weak, sub-threshold hits",
+    ]
+    report("coexistence_interference", "\n".join(lines))
+
+    assert corrupted > 2.0 * max(clean, 0.05)
+    assert excised < 0.5 * corrupted
+
+
+def test_orientation_margin(benchmark, report):
+    """How much misalignment the link budget absorbs."""
+
+    def run():
+        rows = []
+        for rotation_deg in (0.0, 30.0, 45.0, 60.0, 80.0):
+            budget = OrientedLinkBudget(
+                tag_rotation=np.radians(rotation_deg))
+            rows.append((rotation_deg, budget.two_way_penalty_db()))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["tag polarization rotation -> two-way link penalty:"]
+    for rotation, penalty in rows:
+        lines.append(f"  {rotation:5.1f} deg : {penalty:6.2f} dB")
+    lines.append("reading: the ~35 dB backscatter SNR margin of the "
+                 "half-metre deployment absorbs rotations past 60 deg; "
+                 "only near-orthogonal mounting threatens the link")
+    report("coexistence_orientation", "\n".join(lines))
+
+    penalties = dict(rows)
+    assert penalties[0.0] < 0.5
+    assert penalties[45.0] < 10.0
+    assert penalties[80.0] > penalties[45.0]

@@ -1,0 +1,198 @@
+"""Extension benches: moving clutter, energy harvesting, streaming.
+
+These cover the paper's discussion-section claims that the core
+evaluation does not measure directly:
+
+* Section 3.3's "artificial Doppler" separation from real motion.
+* Section 6's battery-free-via-harvesting feasibility.
+* Fig. 17b's force-versus-time view, via the streaming tracker.
+"""
+
+import numpy as np
+
+from repro.channel.mobility import (
+    clutter_rejection_db,
+    equivalent_speed,
+    walking_person_clutter,
+)
+from repro.core.harmonics import HarmonicExtractor, integer_period_group_length
+from repro.core.tracking import StreamingTracker
+from repro.channel.propagation import BackscatterLink
+from repro.experiments.scenarios import calibrated_model, default_transducer
+from repro.reader.sounder import FrameLevelSounder, concatenate_streams
+from repro.reader.waveform import OFDMSounderConfig
+from repro.sensor.harvester import EnergyHarvester
+from repro.sensor.power import wiforce_power_budget
+from repro.sensor.tag import TagState, WiForceTag
+
+
+def test_moving_clutter_rejection(benchmark, report):
+    """A walking person barely moves the force estimate."""
+
+    def run():
+        carrier = 900e6
+        config = OFDMSounderConfig(carrier_frequency=carrier)
+        tag = WiForceTag(default_transducer(), clock_offset_ppm=20.0)
+        model = calibrated_model(carrier)
+        results = {}
+        for label, seed, walker in (("static room", 61, None),
+                                    ("walking person", 62, True)):
+            rng = np.random.default_rng(seed)
+            clutter = walking_person_clutter(carrier, rng=rng) \
+                if walker else None
+            sounder = FrameLevelSounder(config, tag, BackscatterLink(),
+                                        clutter, rng=rng)
+            from repro.core.pipeline import WiForceReader
+            reader = WiForceReader(sounder, model)
+            errors = []
+            for force in (2.0, 4.0, 6.0):
+                reading = reader.read(TagState(force, 0.040),
+                                      rebaseline=True)
+                errors.append(abs(reading.force - force))
+            results[label] = float(np.median(errors))
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rejection = clutter_rejection_db(1e3, 10.0, 625, 57.6e-6)
+    lines = [
+        f"median force error, static room   : "
+        f"{results['static room']:.3f} N",
+        f"median force error, walking person: "
+        f"{results['walking person']:.3f} N",
+        f"DFT rejection of 10 Hz motion at the 1 kHz tone: "
+        f"{rejection:.1f} dB",
+        f"equivalent speed of the 1 kHz tone: "
+        f"{equivalent_speed(1e3, 900e6):.0f} m/s "
+        "(vs ~1.4 m/s walking)",
+        "paper shape: real motion lands near DC and is nulled by the "
+        "snapshot DFT (section 3.3)",
+    ]
+    report("extension_moving_clutter", "\n".join(lines))
+
+    assert results["walking person"] < 3.0 * max(results["static room"],
+                                                 0.05)
+
+
+def test_energy_harvesting_budget(benchmark, report):
+    """Section 6: the sub-uW tag can run off the reader's excitation."""
+
+    def run():
+        harvester = EnergyHarvester()
+        budget = wiforce_power_budget()
+        at_half_metre = harvester.report(budget, 10.0, 6.0, 0.5, 900e6)
+        break_even = harvester.break_even_range(budget, 10.0, 6.0, 900e6)
+        return at_half_metre, break_even
+
+    at_half_metre, break_even = benchmark.pedantic(run, rounds=1,
+                                                   iterations=1)
+    lines = [
+        f"tag consumption              : "
+        f"{at_half_metre.tag_power * 1e6:.3f} uW",
+        f"incident RF @0.5 m, 10 dBm   : "
+        f"{at_half_metre.incident_power * 1e6:.2f} uW",
+        f"harvested DC @0.5 m          : "
+        f"{at_half_metre.harvested_power * 1e6:.2f} uW "
+        f"(margin {at_half_metre.margin:.1f}x)",
+        f"break-even range             : {break_even:.1f} m",
+        "paper shape: battery-free operation is feasible at the "
+        "deployment geometry (section 6)",
+    ]
+    report("extension_energy_harvesting", "\n".join(lines))
+
+    assert at_half_metre.feasible
+    assert break_even > 1.0
+
+
+def test_streaming_force_tracking(benchmark, report):
+    """Fig. 17b's view: a continuous force-vs-time profile."""
+
+    def run():
+        carrier = 2.4e9
+        config = OFDMSounderConfig(carrier_frequency=carrier)
+        tag = WiForceTag(default_transducer(), clock_offset_ppm=20.0)
+        rng = np.random.default_rng(71)
+        sounder = FrameLevelSounder(config, tag, BackscatterLink(),
+                                    rng=rng)
+        group = integer_period_group_length(config.frame_period, 1e3)
+        extractor = HarmonicExtractor(
+            tones=(tag.clocking.readout_port1,
+                   tag.clocking.readout_port2),
+            group_length=group)
+        model = calibrated_model(carrier)
+        segments = [(TagState(), 4)]
+        for level in (1.5, 3.0, 4.5, 6.0):
+            segments.append((TagState(level, 0.060), 3))
+        segments.append((TagState(), 2))
+        streams = []
+        clock = 0.0
+        for state, groups in segments:
+            stream = sounder.capture(state, groups * group,
+                                     start_time=clock)
+            clock += stream.frames * config.frame_period
+            streams.append(stream)
+        tracker = StreamingTracker(model, extractor, baseline_groups=4)
+        samples = tracker.process(concatenate_streams(*streams))
+        events = tracker.touch_events(samples)
+        return samples, events
+
+    samples, events = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["time [ms]  force [N]  location [mm]  touched"]
+    for sample in samples:
+        lines.append(f"{sample.time * 1e3:8.1f}  {sample.force:8.2f}  "
+                     f"{sample.location * 1e3:12.1f}  "
+                     f"{'yes' if sample.touched else 'no'}")
+    lines.append("")
+    lines.append(f"touch events detected: {len(events)}")
+    for event in events:
+        lines.append(f"  onset {event.onset * 1e3:.0f} ms, peak "
+                     f"{event.peak_force:.2f} N at "
+                     f"{event.mean_location * 1e3:.1f} mm")
+    lines.append("paper shape: the tracker recovers the stepped force "
+                 "profile and its location over time (Fig. 17b)")
+    report("extension_streaming_tracking", "\n".join(lines))
+
+    touched_forces = [s.force for s in samples if s.touched]
+    assert touched_forces
+    assert max(touched_forces) > 4.0
+    assert len(events) >= 1
+    assert abs(events[0].mean_location - 0.060) < 3e-3
+
+
+def test_multitouch_ambiguity(benchmark, report):
+    """Section 7's deferred problem, quantified: when are two presses
+    ambiguous with one, and when are they at least detectable?"""
+    from repro.core.estimator import ForceLocationEstimator
+    from repro.experiments.scenarios import calibrated_model
+    from repro.sensor.multitouch import TwoPressState, ambiguity_report
+
+    def run():
+        tag = WiForceTag(default_transducer())
+        estimator = ForceLocationEstimator(calibrated_model(900e6))
+        rows = []
+        for a, b in ((0.035, 0.045), (0.030, 0.050), (0.025, 0.055),
+                     (0.020, 0.060)):
+            state = TwoPressState(3.0, a, 3.0, b)
+            result = ambiguity_report(tag, estimator, 900e6, state)
+            rows.append((b - a, result))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["separation   fit residual   single-press reading   "
+             "(true: 3 N + 3 N)"]
+    for separation, result in rows:
+        lines.append(
+            f"  {separation * 1e3:5.0f} mm   {result.residual_deg:8.2f} deg"
+            f"   {result.inferred_force:5.2f} N @ "
+            f"{result.inferred_location * 1e3:5.1f} mm")
+    lines.append("")
+    lines.append("reading: close presses are genuinely ambiguous (read "
+                 "as one too-strong press); far presses exceed any "
+                 "single press's edge spread and are detectable by the "
+                 "fit residual — the precise shape of the paper's "
+                 "deferred multi-touch problem")
+    report("extension_multitouch", "\n".join(lines))
+
+    assert rows[0][1].residual_deg < 5.0      # close: ambiguous
+    assert rows[-1][1].residual_deg > 15.0    # far: detectable
+    residuals = [result.residual_deg for _, result in rows]
+    assert residuals == sorted(residuals)

@@ -1,0 +1,45 @@
+"""Fig. 5b — phase-force profiles at both ports, per press location.
+
+Paper claim: a centre press (40 mm) compresses the beam symmetrically,
+so both ports show the same phase-force profile; off-centre presses
+(20/60 mm) are asymmetric, with the near port swinging more while the
+far port's profile flattens.
+"""
+
+from repro.experiments import runners
+
+
+def test_fig05_beam_profiles(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: runners.run_fig05(fast=False), rounds=1, iterations=1)
+
+    lines = []
+    for i, location in enumerate(result.locations):
+        lines.append(f"press at {location * 1e3:.0f} mm "
+                     f"(port1 / port2 dphi [deg] vs force [N]):")
+        p1 = result.port1_deg[i] - result.port1_deg[i][0]
+        p2 = result.port2_deg[i] - result.port2_deg[i][0]
+        for force, a, b in zip(result.forces, p1, p2):
+            lines.append(f"  F={force:5.2f}   {a:8.2f}   {b:8.2f}")
+        lines.append(f"  swings: port1={result.swing_deg(i, 1):.2f} deg, "
+                     f"port2={result.swing_deg(i, 2):.2f} deg")
+    lines.append("paper shape: symmetric at 40 mm, near-port-dominant at "
+                 "20/60 mm (Fig. 5b)")
+    lines.append("")
+    from repro.experiments.figures import ascii_plot
+    index_20 = list(result.locations).index(0.020)
+    lines.append(ascii_plot([
+        ("1 port1@20mm", result.forces,
+         result.port1_deg[index_20] - result.port1_deg[index_20][0]),
+        ("2 port2@20mm", result.forces,
+         result.port2_deg[index_20] - result.port2_deg[index_20][0]),
+    ], x_label="force [N]", y_label="dphi [deg]"))
+    report("fig05_beam_profiles", "\n".join(lines))
+
+    centre = list(result.locations).index(0.040)
+    left = list(result.locations).index(0.020)
+    right = list(result.locations).index(0.060)
+    assert abs(result.swing_deg(centre, 1)
+               - result.swing_deg(centre, 2)) < 5.0
+    assert result.swing_deg(left, 1) > 1.2 * result.swing_deg(left, 2)
+    assert result.swing_deg(right, 2) > 1.2 * result.swing_deg(right, 1)

@@ -1,0 +1,65 @@
+"""Fig. 9 — the algorithm's Doppler-domain view, reproduced as data.
+
+The paper's Fig. 9 illustrates the sensing pipeline: periodic channel
+estimates stacked into phase groups, the snapshot-axis FFT putting
+static multipath at DC and the tag's switching at its "artificial
+Doppler" tones.  This bench renders that exact view from a simulated
+capture: the spectrum floor, the DC clutter line, and the fs / 2fs /
+4fs tag lines with their relative levels.
+"""
+
+import numpy as np
+
+from repro.channel.multipath import indoor_channel
+from repro.channel.propagation import BackscatterLink
+from repro.core.harmonics import HarmonicExtractor, integer_period_group_length
+from repro.experiments.scenarios import default_transducer
+from repro.reader.sounder import FrameLevelSounder
+from repro.reader.waveform import OFDMSounderConfig
+from repro.sensor.tag import TagState, WiForceTag
+
+
+def test_fig09_doppler_view(benchmark, report):
+    def run():
+        carrier = 900e6
+        config = OFDMSounderConfig(carrier_frequency=carrier)
+        tag = WiForceTag(default_transducer())
+        rng = np.random.default_rng(49)
+        sounder = FrameLevelSounder(config, tag, BackscatterLink(),
+                                    indoor_channel(carrier, rng=rng),
+                                    rng=rng)
+        group = integer_period_group_length(config.frame_period, 1e3)
+        extractor = HarmonicExtractor(tones=(1e3, 4e3),
+                                      group_length=group)
+        stream = sounder.capture(TagState(3.0, 0.040), group)
+        frequencies, magnitude = extractor.doppler_spectrum(stream)
+        return frequencies, magnitude
+
+    frequencies, magnitude = benchmark.pedantic(run, rounds=1,
+                                                iterations=1)
+    floor = float(np.median(magnitude))
+    db = 20.0 * np.log10(np.maximum(magnitude, 1e-300) / floor)
+
+    def level(f):
+        return float(db[int(np.argmin(np.abs(frequencies - f)))])
+
+    probes = [0.0, 1e3, 2e3, 3e3, 4e3, 5e3, 6e3, 7e3]
+    lines = ["Doppler bin [Hz] -> level above spectrum floor [dB]:"]
+    for f in probes:
+        tag_line = {0.0: "  <- static multipath (DC)",
+                    1e3: "  <- port-1 readout tone (fs)",
+                    2e3: "  <- collision tone (2fs)",
+                    4e3: "  <- port-2 readout tone (4fs)"}.get(f, "")
+        lines.append(f"  {f:6.0f}   {level(f):8.1f}{tag_line}")
+    lines.append("")
+    lines.append("paper shape (Fig. 9): clutter pinned at DC, the tag's "
+                 "artificial-Doppler lines standing clear of the floor, "
+                 "quiet bins in between")
+    report("fig09_doppler_view", "\n".join(lines))
+
+    assert level(0.0) > 60.0           # clutter towers over the floor
+    assert level(1e3) > 25.0           # fs line clear of the floor
+    assert level(4e3) > 20.0           # 4fs line clear of the floor
+    assert level(2e3) > 15.0           # the predicted 2fs collision
+    # Quiet bins stay near the floor.
+    assert abs(level(3.3e3)) < 12.0 or level(3.3e3) < 12.0

@@ -1,0 +1,34 @@
+"""Fig. 10 — broadband RF characteristics of the untouched sensor.
+
+Paper claim: across 0-3 GHz the sensor's S11 stays below -10 dB, S21
+sits near 0 dB, and the S21 phase is linear — the sensor is a clean
+50-ohm line over the whole band.
+"""
+
+import numpy as np
+
+from repro.experiments import runners
+
+
+def test_fig10_sensor_rf(benchmark, report):
+    result = benchmark.pedantic(lambda: runners.run_fig10(points=601),
+                                rounds=1, iterations=1)
+
+    picks = np.linspace(0, result.frequency.size - 1, 13).astype(int)
+    lines = ["freq [GHz]   S11 [dB]   S21 [dB]"]
+    for index in picks:
+        lines.append(f"{result.frequency[index] / 1e9:9.2f}   "
+                     f"{result.s11_db[index]:8.2f}   "
+                     f"{result.s21_db[index]:8.2f}")
+    lines.append("")
+    lines.append(f"worst S11 over band      : {result.worst_s11_db:.2f} dB "
+                 "(paper: < -10 dB)")
+    lines.append(f"worst S21 over band      : {result.worst_s21_db:.2f} dB "
+                 "(paper: ~0 dB)")
+    lines.append(f"S21 phase nonlinearity   : "
+                 f"{result.s21_phase_residual_deg:.4f} deg (paper: linear)")
+    report("fig10_sensor_rf", "\n".join(lines))
+
+    assert result.worst_s11_db < -10.0
+    assert result.worst_s21_db > -1.0
+    assert result.s21_phase_residual_deg < 1.0

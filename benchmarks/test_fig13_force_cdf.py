@@ -1,0 +1,55 @@
+"""Fig. 13 — force-magnitude error CDFs at 900 MHz and 2.4 GHz.
+
+Paper claim: median force error 0.56 N at 900 MHz and 0.34 N at
+2.4 GHz; the higher carrier wins because it accumulates more phase per
+millimetre; the error is uniform along the sensor length.
+"""
+
+import numpy as np
+
+from repro.experiments.metrics import (
+    empirical_cdf,
+    median_absolute_error,
+    percentile_absolute_error,
+)
+
+
+def _cdf_lines(errors, label):
+    values, probabilities = empirical_cdf(errors)
+    lines = [f"{label}:"]
+    for q in (0.25, 0.5, 0.75, 0.9):
+        index = int(np.searchsorted(probabilities, q))
+        index = min(index, values.size - 1)
+        lines.append(f"  P{int(q * 100):02d} |error| <= {values[index]:.3f}")
+    return lines
+
+
+def test_fig13_force_cdf(benchmark, report, accuracy_900, accuracy_2g4):
+    benchmark.pedantic(
+        lambda: median_absolute_error(accuracy_900.force_errors),
+        rounds=1, iterations=1)
+
+    lines = []
+    lines += _cdf_lines(accuracy_900.force_errors, "900 MHz force error [N]")
+    lines += _cdf_lines(accuracy_2g4.force_errors, "2.4 GHz force error [N]")
+    lines.append("")
+    lines.append(f"median @900 MHz : {accuracy_900.median_force_error:.3f} N "
+                 "(paper: 0.56 N)")
+    lines.append(f"median @2.4 GHz : {accuracy_2g4.median_force_error:.3f} N "
+                 "(paper: 0.34 N)")
+    lines.append("per-location medians @900 MHz [N]: " + ", ".join(
+        f"{loc * 1e3:.0f}mm={median_absolute_error(fe):.3f}"
+        for loc, (fe, _) in sorted(accuracy_900.per_location.items())))
+    lines.append("paper shape: sub-newton medians, uniform along the "
+                 "length, better at the higher carrier (Fig. 13)")
+    lines.append("")
+    from repro.experiments.figures import ascii_cdf
+    lines.append(ascii_cdf([
+        ("900MHz", accuracy_900.force_errors),
+        ("2.4GHz", accuracy_2g4.force_errors),
+    ], x_label="|force error| [N]"))
+    report("fig13_force_cdf", "\n".join(lines))
+
+    assert accuracy_900.median_force_error < 0.7
+    assert accuracy_2g4.median_force_error < 0.7
+    assert percentile_absolute_error(accuracy_900.force_errors, 90) < 2.0

@@ -1,0 +1,39 @@
+"""Fig. 19 (Appendix) — 50-ohm geometry: 5:1 narrow vs 4:1 wide ground.
+
+Paper claim: Steer's air-microstrip formula puts the 50-ohm
+trace-width-to-height ratio near 5:1; widening the ground trace for SMA
+interfacing adds fringing capacitance and shifts the optimum to ~4:1,
+where the insertion loss is minimised.
+"""
+
+import numpy as np
+
+from repro.experiments import runners
+
+
+def test_fig19_impedance_ratio(benchmark, report):
+    result = benchmark.pedantic(lambda: runners.run_impedance_ratio(),
+                                rounds=1, iterations=1)
+
+    picks = np.linspace(0, result.ratios.size - 1, 13).astype(int)
+    lines = ["w/h ratio   S21 narrow-gnd [dB]   S21 wide-gnd [dB]"]
+    for index in picks:
+        lines.append(f"{result.ratios[index]:9.2f}   "
+                     f"{result.insertion_loss_narrow_db[index]:18.4f}   "
+                     f"{result.insertion_loss_wide_db[index]:16.4f}")
+    lines.append("")
+    lines.append(f"50-ohm ratio, narrow ground: "
+                 f"{result.optimal_ratio_narrow:.2f}:1 (paper: ~5:1)")
+    lines.append(f"50-ohm ratio, wide ground  : "
+                 f"{result.optimal_ratio_wide:.2f}:1 (paper: ~4:1)")
+    report("fig19_impedance_ratio", "\n".join(lines))
+
+    assert result.optimal_ratio_narrow == np.clip(
+        result.optimal_ratio_narrow, 4.6, 5.4)
+    assert result.optimal_ratio_wide == np.clip(
+        result.optimal_ratio_wide, 3.6, 4.4)
+    best_wide = result.ratios[
+        int(np.argmax(result.insertion_loss_wide_db))]
+    best_narrow = result.ratios[
+        int(np.argmax(result.insertion_loss_narrow_db))]
+    assert best_wide < best_narrow  # the crossover direction

@@ -1,0 +1,36 @@
+"""Sections 1/4.3 and Fig. 3 — tag power: direct transduction wins.
+
+Paper claims: the WiForce tag (clock + two switches, no ADC/MCU/radio)
+consumes under 1 uW in 65 nm; the conventional sensor+ADC+MCU+
+backscatter pipeline needs orders of magnitude more.
+"""
+
+from repro.experiments import runners
+
+
+def test_power_budget(benchmark, report):
+    result = benchmark.pedantic(lambda: runners.run_power_comparison(),
+                                rounds=1, iterations=1)
+
+    wiforce = result.wiforce
+    digital = result.digital
+    lines = [
+        "WiForce tag budget:",
+        f"  clock generation : {wiforce.clock_generation * 1e9:8.2f} nW",
+        f"  switch drive     : {wiforce.switch_drive * 1e9:8.2f} nW",
+        f"  leakage          : {wiforce.leakage * 1e9:8.2f} nW",
+        f"  TOTAL            : {wiforce.total_uw:8.3f} uW (paper: < 1 uW)",
+        "",
+        "digital backscatter baseline (Fig. 3 architecture):",
+        f"  ADC              : {digital.adc * 1e6:8.3f} uW",
+        f"  MCU              : {digital.mcu * 1e6:8.3f} uW",
+        f"  modulator        : {digital.modulator * 1e6:8.3f} uW",
+        f"  leakage          : {digital.leakage * 1e6:8.3f} uW",
+        f"  TOTAL            : {digital.total_uw:8.3f} uW",
+        "",
+        f"digital / WiForce power factor: {result.ratio:.0f}x",
+    ]
+    report("power_budget", "\n".join(lines))
+
+    assert wiforce.total_uw < 1.0
+    assert result.ratio > 10.0

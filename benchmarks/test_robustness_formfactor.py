@@ -1,0 +1,95 @@
+"""Robustness campaigns + the section 7 form-factor extension.
+
+* Environment Monte-Carlo: the section 5 "different indoor
+  environments" claim, quantified over random clutter draws.
+* Calibration transfer: nominal-model reads of toleranced units vs
+  per-unit trimming (manufacturing-cost question).
+* Form factor: a half-size sensor read at twice the carrier keeps its
+  phase swing and relative accuracy (section 7's miniaturisation
+  argument).
+"""
+
+import numpy as np
+
+from repro.experiments import montecarlo
+from repro.experiments.runners import run_form_factor
+from repro.sensor.fabrication import tolerance_report
+
+
+def test_environment_robustness(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: montecarlo.environment_campaign(trials=8, fast=False),
+        rounds=1, iterations=1)
+
+    lines = ["per-environment medians (force [N] / location [mm]):"]
+    for force, location in zip(result.force_medians,
+                               result.location_medians):
+        lines.append(f"  {force:6.3f}  /  {location * 1e3:6.3f}")
+    lines.append(f"worst environment: force "
+                 f"{result.worst_force_median:.3f} N, location "
+                 f"{result.worst_location_median * 1e3:.3f} mm")
+    lines.append("paper shape: accuracy holds across indoor environments "
+                 "(section 5)")
+    report("robustness_environments", "\n".join(lines))
+
+    assert result.worst_force_median < 1.0
+    assert result.worst_location_median < 2e-3
+
+
+def test_calibration_transfer(benchmark, report):
+    def run():
+        transfer = montecarlo.calibration_transfer_campaign(units=4)
+        per_unit = montecarlo.per_unit_calibration_campaign(units=4)
+        batch = tolerance_report(units=50)
+        return transfer, per_unit, batch
+
+    transfer, per_unit, batch = benchmark.pedantic(run, rounds=1,
+                                                   iterations=1)
+    mean_z, std_z = batch.impedance_spread
+    lines = [
+        f"fabricated batch impedance : {mean_z:.1f} +/- {std_z:.2f} ohm "
+        f"(worst S11 {batch.worst_mismatch_db:.1f} dB)",
+        "",
+        "per-unit force medians [N]:",
+        f"  nominal calibration transferred : "
+        f"{np.round(transfer.force_medians, 3)}",
+        f"  per-unit calibration            : "
+        f"{np.round(per_unit.force_medians, 3)}",
+        "",
+        "reading: the RF design point survives fabrication tolerances, "
+        "but the elastomer's mechanical spread makes per-unit force "
+        "calibration worthwhile",
+    ]
+    report("calibration_transfer", "\n".join(lines))
+
+    assert batch.worst_mismatch_db < -10.0
+    assert (per_unit.force_medians.mean()
+            < transfer.force_medians.mean() + 1e-9)
+    assert per_unit.worst_force_median < 0.5
+
+
+def test_form_factor_scaling(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: run_form_factor(scales=(1.0, 0.5, 0.25)),
+        rounds=1, iterations=1)
+
+    lines = ["scale   carrier   phase swing   med loc err   relative"]
+    for scale, carrier, swing, median, relative in zip(
+            result.scales, result.carriers, result.phase_swing_deg,
+            result.location_medians_m, result.relative_location_medians):
+        lines.append(f"{scale:5.2f}   {carrier / 1e9:5.1f} GHz   "
+                     f"{swing:8.1f} deg   {median * 1e3:8.3f} mm   "
+                     f"{relative * 100:6.3f} %")
+    lines.append("paper shape: higher carriers preserve the electrical "
+                 "length, so miniaturised sensors keep their relative "
+                 "accuracy (section 7).  At quarter scale (9.6 GHz, "
+                 "~23 deg/mm) the phase map becomes ambiguous between "
+                 "calibration points and the location estimate starts "
+                 "aliasing — the practical floor of the scaling argument.")
+    report("form_factor_scaling", "\n".join(lines))
+
+    swings = result.phase_swing_deg
+    assert min(swings) > 0.5 * max(swings)
+    # The miniaturisation claim holds cleanly down to half scale.
+    assert all(m < 1e-3 for m in result.location_medians_m[:2])
+    assert all(rel < 0.01 for rel in result.relative_location_medians[:2])

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Deployment workflow: discover, validate, calibrate, track.
+
+A production-shaped walkthrough of commissioning a WiForce install:
+
+1. **Discover** — the reader scans its Doppler spectrum for switching
+   combs and finds the tag (it never had to be told the clock plan).
+2. **Validate** — per-tone link SNR is checked before trusting anything.
+3. **Calibrate** — the indenter/load-cell rig runs the paper's 5-point
+   protocol and fits the cubic model from *measured* (noisy) data.
+4. **Track** — the streaming tracker follows a live interaction and
+   segments it into touch events.
+
+Run:  python examples/deployment_workflow.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.channel import BackscatterLink, indoor_channel
+from repro.core import StreamingTracker
+from repro.core.calibration import calibrate_with_rig
+from repro.core.diagnostics import discover_tags, link_report
+from repro.core.harmonics import HarmonicExtractor, integer_period_group_length
+from repro.mechanics.indenter import GroundTruthRig
+from repro.reader import FrameLevelSounder, OFDMSounderConfig
+from repro.reader.sounder import concatenate_streams
+from repro.sensor import ForceTransducer, TagState, WiForceTag
+from repro.sensor.geometry import default_sensor_design
+
+
+def main() -> None:
+    rng = np.random.default_rng(55)
+    carrier = 900e6
+    config = OFDMSounderConfig(carrier_frequency=carrier)
+    transducer = ForceTransducer(default_sensor_design())
+    tag = WiForceTag(transducer, clock_offset_ppm=20.0)
+    sounder = FrameLevelSounder(config, tag, BackscatterLink(),
+                                indoor_channel(carrier, rng=rng), rng=rng)
+
+    # -- 1. discover ------------------------------------------------
+    print("1) Scanning for switching combs (tag clocks unknown)...")
+    group = integer_period_group_length(config.frame_period, 1e3)
+    scan = sounder.capture(TagState(), group)
+    tags = discover_tags(scan, group)
+    if not tags:
+        raise SystemExit("no tag found — aborting commissioning")
+    found = tags[0]
+    print(f"   found a tag: fs = {found.base_frequency:.0f} Hz, readout "
+          f"tones {found.readout_tones[0]:.0f} / "
+          f"{found.readout_tones[1]:.0f} Hz "
+          f"(confidence {found.confidence_db:.1f} dB)")
+
+    # -- 2. validate --------------------------------------------------
+    print("2) Checking per-tone link quality...")
+    health = sounder.capture(TagState(), 6 * group,
+                             start_time=scan.duration)
+    reportcard = link_report(health, found.readout_tones, group)
+    for tone, snr in reportcard.tone_snrs_db:
+        print(f"   {tone:6.0f} Hz : {snr:5.1f} dB")
+    print(f"   deployment {'USABLE' if reportcard.usable else 'NOT usable'}")
+
+    # -- 3. calibrate -------------------------------------------------
+    print("3) Running the indenter calibration protocol (5 locations, "
+          "measured forces)...")
+    rig = GroundTruthRig(rng=rng)
+    model = calibrate_with_rig(
+        transducer, carrier,
+        locations=(0.020, 0.030, 0.040, 0.050, 0.060),
+        forces=np.linspace(0.75, 8.0, 12), rig=rig, tag=tag, rng=rng)
+    print(f"   cubic model fitted (force range "
+          f"{model.force_range[0]:.2f}-{model.force_range[1]:.2f} N)")
+
+    # -- 4. track a live interaction ---------------------------------
+    print("4) Tracking a live interaction (press, harder, release, "
+          "press elsewhere)...")
+    extractor = HarmonicExtractor(tones=found.readout_tones,
+                                  group_length=group)
+    segments = [
+        (TagState(), 4),
+        (TagState(2.5, 0.030), 3),
+        (TagState(5.0, 0.030), 3),
+        (TagState(), 2),
+        (TagState(3.5, 0.055), 3),
+        (TagState(), 2),
+    ]
+    streams = []
+    clock = health.times[-1] + config.frame_period
+    for state, groups in segments:
+        stream = sounder.capture(state, groups * group, start_time=clock)
+        clock += stream.frames * config.frame_period
+        streams.append(stream)
+    tracker = StreamingTracker(model, extractor, baseline_groups=4)
+    samples = tracker.process(concatenate_streams(*streams))
+    events = tracker.touch_events(samples)
+    print("   tracked samples (time, force, location):")
+    for sample in samples:
+        marker = "*" if sample.touched else " "
+        print(f"   {marker} t={sample.time * 1e3:7.1f} ms  "
+              f"F={sample.force:5.2f} N  x={sample.location * 1e3:5.1f} mm")
+    print(f"\n   {len(events)} touch events:")
+    for index, event in enumerate(events):
+        print(f"   event {index}: peak {event.peak_force:.2f} N at "
+              f"{event.mean_location * 1e3:.1f} mm "
+              f"({(event.release - event.onset) * 1e3:.0f} ms)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Force-enabled UI: a volume slider you press harder or softer.
+
+The paper's HCI motivation (sections 1 and 5.3): a batteryless strip on
+any surface becomes an analog control — press location selects the
+control, press force sets its level.  This demo simulates a user
+pressing the strip at 60 mm with increasing force to raise a volume
+level, read entirely over the air at 2.4 GHz (Wi-Fi band).
+
+Run:  python examples/fingertip_ui.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import CALIBRATION_LOCATIONS, TagState
+from repro.channel import BackscatterLink, indoor_channel
+from repro.core import WiForceReader, calibrate_harmonic_observable
+from repro.experiments.fingertip import FingertipProfile
+from repro.reader import FrameLevelSounder, OFDMSounderConfig
+from repro.sensor import ForceTransducer, WiForceTag, default_sensor_design
+
+#: Force-to-volume mapping: 0.5 N steps from 1 N, like ForceEdge [4].
+VOLUME_STEP_N = 1.6
+VOLUME_BASE_N = 0.6
+
+
+def volume_from_force(force: float) -> int:
+    """Map a press force [N] to a 0-10 volume level."""
+    return int(np.clip(round((force - VOLUME_BASE_N) / VOLUME_STEP_N * 2),
+                       0, 10))
+
+
+def main() -> None:
+    carrier = 2.4e9
+    rng = np.random.default_rng(11)
+    print("Deploying the strip at 2.4 GHz (Wi-Fi band)...")
+    transducer = ForceTransducer(default_sensor_design())
+    tag = WiForceTag(transducer, clock_offset_ppm=20.0)
+    model = calibrate_harmonic_observable(
+        tag, carrier, CALIBRATION_LOCATIONS, np.linspace(0.5, 8.0, 16))
+    sounder = FrameLevelSounder(
+        OFDMSounderConfig(carrier_frequency=carrier), tag,
+        BackscatterLink(tx_to_tag=0.5, tag_to_rx=0.5, tx_to_rx=1.0),
+        indoor_channel(carrier, rng=rng), rng=rng)
+    reader = WiForceReader(sounder, model, groups_per_capture=2)
+
+    profile = FingertipProfile(levels=(1.0, 2.5, 4.0, 6.0),
+                               location=0.060, samples_per_level=5,
+                               rng=rng)
+    print("User presses the volume strip at 60 mm, harder and harder:\n")
+    print("  level | true F [N] | est F [N] | est x [mm] | volume bar")
+    last_level = -1
+    for press in profile.generate():
+        if press.level_index != last_level:
+            # Finger lifted between levels: re-reference the reader.
+            reader.capture_baseline()
+            last_level = press.level_index
+            print("  " + "-" * 60)
+        reading = reader.read(press.state)
+        volume = volume_from_force(reading.force)
+        bar = "#" * volume + "." * (10 - volume)
+        print(f"  {press.level_index:5d} | {press.state.force:10.2f} | "
+              f"{reading.force:9.2f} | {reading.location * 1e3:10.1f} | "
+              f"[{bar}]")
+
+    print("\nEvery touch localized to the 60 mm control within a "
+          "fingertip's width, with an analog force level on top of the "
+          "binary touch — the paper's Fig. 17 interaction.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Robot skin: a 2-D force-sensing surface from parallel strips.
+
+The paper's future-work extension (section 7): tile several WiForce
+strips side by side, each clocked at a different base frequency so they
+occupy distinct Doppler bins, and interpolate presses that land between
+strips.  This demo builds a 3-strip skin patch, presses it at several
+plane coordinates, and prints the recovered (force, x, y).
+
+Run:  python examples/robot_skin_2d.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import CALIBRATION_LOCATIONS
+from repro.channel import BackscatterLink, indoor_channel
+from repro.core import WiForceReader, calibrate_harmonic_observable
+from repro.core.twodim import ArraySensorPlacement, TwoDimensionalArray
+from repro.reader import FrameLevelSounder, OFDMSounderConfig
+from repro.sensor import ForceTransducer, WiForceTag, default_sensor_design
+from repro.sensor.clock import wiforce_clocking
+
+STRIP_SPACING = 8e-3  # one beam-width apart
+BASE_CLOCKS = (1.0e3, 0.8e3, 1.2e3)  # distinct Doppler signatures
+
+
+def build_strip(transducer, model, base_clock, seed):
+    rng = np.random.default_rng(seed)
+    tag = WiForceTag(transducer, clocking=wiforce_clocking(base_clock),
+                     clock_offset_ppm=15.0)
+    sounder = FrameLevelSounder(
+        OFDMSounderConfig(carrier_frequency=900e6), tag,
+        BackscatterLink(tx_to_tag=0.5, tag_to_rx=0.5, tx_to_rx=1.0),
+        indoor_channel(900e6, rng=rng), rng=rng)
+    return WiForceReader(sounder, model, groups_per_capture=2)
+
+
+def main() -> None:
+    print("Building a 3-strip WiForce skin patch (strips at y = 0, "
+          f"{STRIP_SPACING * 1e3:.0f}, {2 * STRIP_SPACING * 1e3:.0f} mm)...")
+    transducer = ForceTransducer(default_sensor_design())
+    tag_for_cal = WiForceTag(transducer)
+    model = calibrate_harmonic_observable(
+        tag_for_cal, 900e6, CALIBRATION_LOCATIONS,
+        np.linspace(0.5, 8.0, 16))
+
+    strips = [
+        ArraySensorPlacement(
+            build_strip(transducer, model, clock, seed=100 + index),
+            offset_y=index * STRIP_SPACING)
+        for index, clock in enumerate(BASE_CLOCKS)
+    ]
+    skin = TwoDimensionalArray(strips, coupling_width=STRIP_SPACING)
+    skin.capture_baselines()
+
+    presses = [
+        (3.0, 0.030, 0.0),                    # on strip 0
+        (5.0, 0.050, STRIP_SPACING),          # on strip 1
+        (4.0, 0.040, 0.5 * STRIP_SPACING),    # the no-man's-land case
+        (6.0, 0.058, 1.5 * STRIP_SPACING),    # between strips 1 and 2
+    ]
+    print("\n  true (F, x, y)          ->  estimated (F, x, y)")
+    for force, x, y in presses:
+        estimate = skin.press(force, x, y)
+        print(f"  ({force:4.1f} N, {x * 1e3:5.1f} mm, {y * 1e3:5.1f} mm)"
+              f"  ->  ({estimate.force:4.1f} N, {estimate.x * 1e3:5.1f} mm,"
+              f" {estimate.y * 1e3:5.1f} mm)")
+
+    print("\nEach strip shows up in its own Doppler bins "
+          f"(base clocks {[f'{c:.0f}' for c in BASE_CLOCKS]} Hz), so one "
+          "reader serves the whole patch — the paper's section 7 "
+          "extension.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Waveform agnosticism: the same press read with OFDM, FMCW and UWB.
+
+Paper section 3.3 claims the sensing algorithm only needs *periodic
+wideband channel estimates* — it runs unchanged on OFDM (Wi-Fi-like)
+sounding, stepped-FMCW (radar-like) sweeps, and impulse-radio UWB.
+This demo reads one press all three ways and compares the recovered
+differential phases against the noiseless tag observable.
+
+Run:  python examples/waveform_agnostic.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import TagState
+from repro.channel import BackscatterLink, indoor_channel
+from repro.core import HarmonicExtractor
+from repro.core.calibration import harmonic_differential_phases
+from repro.core.harmonics import integer_period_group_length
+from repro.core.phase import differential_phase
+from repro.reader import (
+    FMCWSounder,
+    FMCWSounderConfig,
+    FrameLevelSounder,
+    OFDMSounderConfig,
+)
+from repro.sensor import ForceTransducer, WiForceTag, default_sensor_design
+
+PRESS = TagState(force=4.0, location=0.040)
+CARRIER = 900e6
+
+
+def read_phases(capture, extractor, tones):
+    """Differential phases between an untouched and a pressed capture."""
+    base_stream = capture(TagState())
+    touch_stream = capture(PRESS)
+    base = extractor.extract(base_stream)
+    touch = extractor.extract(touch_stream)
+    return tuple(
+        differential_phase(base[tone].values.mean(axis=0),
+                           touch[tone].values.mean(axis=0))
+        for tone in tones)
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+    transducer = ForceTransducer(default_sensor_design())
+    tag = WiForceTag(transducer)
+    link = BackscatterLink(tx_to_tag=0.5, tag_to_rx=0.5, tx_to_rx=1.0)
+    clutter = indoor_channel(CARRIER, rng=rng)
+    tones = (tag.clocking.readout_port1, tag.clocking.readout_port2)
+
+    truth = harmonic_differential_phases(tag, CARRIER, PRESS.force,
+                                         PRESS.location)
+    print(f"Press: {PRESS.force} N at {PRESS.location * 1e3:.0f} mm")
+    print(f"Noiseless tag observable: ({np.degrees(truth[0]):.2f}, "
+          f"{np.degrees(truth[1]):.2f}) deg\n")
+
+    # --- OFDM (64 subcarriers, 12.5 MHz, estimate every 57.6 us) -----
+    ofdm_config = OFDMSounderConfig(carrier_frequency=CARRIER)
+    ofdm = FrameLevelSounder(ofdm_config, tag, link, clutter, rng=rng)
+    group = integer_period_group_length(ofdm_config.frame_period, 1e3)
+    extractor = HarmonicExtractor(tones=tones, group_length=group)
+    clock = {"t": 0.0}
+
+    def ofdm_capture(state):
+        stream = ofdm.capture(state, 2 * group, start_time=clock["t"])
+        clock["t"] += stream.frames * ofdm_config.frame_period
+        return stream
+
+    ofdm_phases = read_phases(ofdm_capture, extractor, tones)
+    print(f"OFDM reader   : ({np.degrees(ofdm_phases[0]):.2f}, "
+          f"{np.degrees(ofdm_phases[1]):.2f}) deg")
+
+    # --- stepped FMCW (64 steps over 12.5 MHz per 57.6 us sweep) -----
+    fmcw_config = FMCWSounderConfig(carrier_frequency=CARRIER)
+    fmcw = FMCWSounder(fmcw_config, tag, link, clutter, rng=rng)
+    fmcw_group = integer_period_group_length(fmcw_config.sweep_period, 1e3)
+    fmcw_extractor = HarmonicExtractor(tones=tones,
+                                       group_length=fmcw_group)
+    fmcw_clock = {"t": 0.0}
+
+    def fmcw_capture(state):
+        stream = fmcw.capture(state, 2 * fmcw_group,
+                              start_time=fmcw_clock["t"])
+        fmcw_clock["t"] += stream.frames * fmcw_config.sweep_period
+        return stream
+
+    fmcw_phases = read_phases(fmcw_capture, fmcw_extractor, tones)
+    print(f"FMCW reader   : ({np.degrees(fmcw_phases[0]):.2f}, "
+          f"{np.degrees(fmcw_phases[1]):.2f}) deg")
+
+    # --- impulse UWB (256 bins over 500 MHz at its own band) --------
+    from repro.reader import UWBSounder, UWBSounderConfig
+
+    uwb_config = UWBSounderConfig()
+    uwb = UWBSounder(uwb_config, tag, link, rng=rng)
+    uwb_truth = harmonic_differential_phases(
+        tag, uwb_config.carrier_frequency, PRESS.force, PRESS.location)
+    uwb_group = integer_period_group_length(uwb_config.estimate_period,
+                                            1e3)
+    uwb_extractor = HarmonicExtractor(tones=tones,
+                                      group_length=uwb_group)
+    uwb_clock = {"t": 0.0}
+
+    def uwb_capture(state):
+        stream = uwb.capture(state, 2 * uwb_group,
+                             start_time=uwb_clock["t"])
+        uwb_clock["t"] += stream.frames * uwb_config.estimate_period
+        return stream
+
+    uwb_phases = read_phases(uwb_capture, uwb_extractor, tones)
+    print(f"UWB reader    : ({np.degrees(uwb_phases[0]):.2f}, "
+          f"{np.degrees(uwb_phases[1]):.2f}) deg  "
+          f"(its own band: expected {np.degrees(uwb_truth[0]):.2f}, "
+          f"{np.degrees(uwb_truth[1]):.2f})")
+
+    worst = max(abs(np.degrees(p - t))
+                for p, t in zip(ofdm_phases + fmcw_phases + uwb_phases,
+                                truth + truth + uwb_truth))
+    print(f"\nWorst deviation from the tag observable: {worst:.2f} deg — "
+          "the same phase-group algorithm serves all three waveforms "
+          "(section 3.3).")
+
+
+if __name__ == "__main__":
+    main()

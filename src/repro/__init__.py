@@ -1,0 +1,160 @@
+"""WiForce reproduction: wireless force sensing on a space continuum.
+
+A full-stack simulation reproduction of "WiForce: Wireless Sensing and
+Localization of Contact Forces on a Space Continuum" (NSDI 2021):
+beam-contact mechanics, microstrip RF, a duty-cycle-multiplexed
+backscatter tag, multipath/tissue channels, an OFDM/FMCW wireless
+reader, and the phase-group harmonic algorithm that turns channel
+estimates into force magnitude and contact location.
+
+Quickstart::
+
+    import numpy as np
+    from repro import build_default_system, TagState
+
+    system = build_default_system(carrier_frequency=900e6, seed=1)
+    system.reader.capture_baseline()
+    reading = system.reader.read(TagState(force=3.0, location=0.045))
+    print(reading.force, reading.location)
+
+See README.md for the architecture and DESIGN.md for the paper
+experiment index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.channel import BackscatterLink, MultipathChannel, indoor_channel
+from repro.core import (
+    ForceLocationEstimate,
+    ForceLocationEstimator,
+    HarmonicExtractor,
+    PressReading,
+    SensorModel,
+    WiForceReader,
+    calibrate_harmonic_observable,
+    calibrate_port_observable,
+)
+from repro.reader import FrameLevelSounder, OFDMSounderConfig
+from repro.sensor import (
+    ForceTransducer,
+    SensorDesign,
+    TagState,
+    WiForceTag,
+    default_sensor_design,
+    wiforce_clocking,
+)
+
+__version__ = "1.0.0"
+
+#: The paper's calibration press locations (section 4.2) [m].
+CALIBRATION_LOCATIONS = (0.020, 0.030, 0.040, 0.050, 0.060)
+
+#: The paper's evaluated force range (section 5.1) [N].
+FORCE_RANGE = (0.5, 8.0)
+
+
+@dataclass
+class WiForceSystem:
+    """A fully assembled sensing deployment.
+
+    Attributes:
+        design: Sensor design.
+        transducer: Force-to-RF transducer.
+        tag: Backscatter tag.
+        link: Reader/tag geometry.
+        clutter: Environment multipath.
+        sounder: Channel sounder.
+        model: Calibrated sensor model.
+        reader: End-to-end reader.
+    """
+
+    design: SensorDesign
+    transducer: ForceTransducer
+    tag: WiForceTag
+    link: BackscatterLink
+    clutter: Optional[MultipathChannel]
+    sounder: FrameLevelSounder
+    model: SensorModel
+    reader: WiForceReader
+
+
+def build_default_system(carrier_frequency: float = 900e6,
+                         link: Optional[BackscatterLink] = None,
+                         seed: Optional[int] = None,
+                         calibration_forces: Optional[np.ndarray] = None,
+                         transducer: Optional[ForceTransducer] = None,
+                         groups_per_capture: int = 2) -> WiForceSystem:
+    """Assemble the paper's default deployment in one call.
+
+    Sensor at 50 cm from both reader antennas (Fig. 12), indoor
+    clutter, OFDM sounding at the requested carrier, harmonic-domain
+    calibration at the paper's five locations.
+
+    Args:
+        carrier_frequency: 900 MHz or 2.4 GHz in the paper.
+        link: Override the deployment geometry.
+        seed: Seed for all stochastic parts (clutter, noise).
+        calibration_forces: Force samples for the cubic calibration.
+        transducer: Reuse an existing transducer (its contact map is
+            the expensive part).
+        groups_per_capture: Phase groups averaged per reading.
+    """
+    rng = np.random.default_rng(seed)
+    design = default_sensor_design()
+    if transducer is None:
+        transducer = ForceTransducer(design)
+    tag = WiForceTag(transducer)
+    if link is None:
+        link = BackscatterLink(tx_to_tag=0.5, tag_to_rx=0.5, tx_to_rx=1.0)
+    clutter = indoor_channel(carrier_frequency, rng=rng)
+    config = OFDMSounderConfig(carrier_frequency=carrier_frequency)
+    sounder = FrameLevelSounder(config, tag, link, clutter, rng=rng)
+    if calibration_forces is None:
+        calibration_forces = np.linspace(FORCE_RANGE[0], FORCE_RANGE[1], 16)
+    model = calibrate_harmonic_observable(
+        tag, carrier_frequency, CALIBRATION_LOCATIONS, calibration_forces)
+    reader = WiForceReader(sounder, model,
+                           groups_per_capture=groups_per_capture)
+    return WiForceSystem(
+        design=design,
+        transducer=transducer,
+        tag=tag,
+        link=link,
+        clutter=clutter,
+        sounder=sounder,
+        model=model,
+        reader=reader,
+    )
+
+
+__all__ = [
+    "__version__",
+    "CALIBRATION_LOCATIONS",
+    "FORCE_RANGE",
+    "WiForceSystem",
+    "build_default_system",
+    "BackscatterLink",
+    "MultipathChannel",
+    "indoor_channel",
+    "ForceLocationEstimate",
+    "ForceLocationEstimator",
+    "HarmonicExtractor",
+    "PressReading",
+    "SensorModel",
+    "WiForceReader",
+    "calibrate_harmonic_observable",
+    "calibrate_port_observable",
+    "FrameLevelSounder",
+    "OFDMSounderConfig",
+    "ForceTransducer",
+    "SensorDesign",
+    "TagState",
+    "WiForceTag",
+    "default_sensor_design",
+    "wiforce_clocking",
+]

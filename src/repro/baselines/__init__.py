@@ -1,0 +1,47 @@
+"""Baselines the paper compares against or argues around.
+
+Three comparison systems, each implemented far enough to score against
+WiForce on the axis the paper claims:
+
+* :mod:`repro.baselines.rfid_touch` — RIO/LiveTag-class RFID touch
+  interfaces: binary touch + tag-granularity localization (the paper's
+  "~5x better location accuracy" claim, section 5.1).
+* :mod:`repro.baselines.strain_rss` — resonance-notch RSS strain
+  sensing, which breaks under static multipath (related-work claim,
+  section 8).
+* :mod:`repro.baselines.digital_backscatter` — the conventional
+  sensor + ADC + MCU + codeword-translation backscatter pipeline and
+  its power budget (the architecture Fig. 3 contrasts).
+"""
+
+from repro.baselines.rfid_touch import RFIDTouchArray, RFIDTouchReading
+from repro.baselines.strain_rss import (
+    NotchStrainSensor,
+    NotchReader,
+    StrainReading,
+)
+from repro.baselines.ert import ERTReading, ERTStrip
+from repro.baselines.vision_haptics import (
+    VisionHapticsPipeline,
+    WiForceLatency,
+    latency_comparison,
+)
+from repro.baselines.digital_backscatter import (
+    DigitalBackscatterTag,
+    digital_backscatter_power_budget,
+)
+
+__all__ = [
+    "RFIDTouchArray",
+    "RFIDTouchReading",
+    "NotchStrainSensor",
+    "NotchReader",
+    "StrainReading",
+    "ERTReading",
+    "ERTStrip",
+    "VisionHapticsPipeline",
+    "WiForceLatency",
+    "latency_comparison",
+    "DigitalBackscatterTag",
+    "digital_backscatter_power_budget",
+]

@@ -1,0 +1,165 @@
+"""ERT (electrical resistance tomography) baseline (paper section 2).
+
+The paper positions ERT as the state of the art for *wired* continuum
+force sensing: a piezoresistive strip whose local conductivity rises
+under pressure, probed by electrodes at fixed positions; solving the
+inverse conductivity problem recovers where and how hard the strip was
+pressed.  It reduces wiring compared to a sensor array but still needs
+galvanic connections and an excitation/measurement front end — the
+architecture WiForce's RF-only approach replaces.
+
+The model here is the 1-D specialisation: a resistive ladder whose
+per-segment conductance rises with local pressure, probed four-terminal
+style from ``electrode_count`` taps.  The reconstruction fits
+(force, location) to the measured transfer resistances — enough to
+compare localization quality, force sensitivity and wiring cost
+against WiForce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ERTReading:
+    """One reconstructed ERT press.
+
+    Attributes:
+        force: Estimated force [N].
+        location: Estimated location [m].
+        residual: RMS voltage-fit residual.
+    """
+
+    force: float
+    location: float
+    residual: float
+
+
+class ERTStrip:
+    """Piezoresistive strip probed by a row of electrodes.
+
+    Args:
+        length: Strip length [m].
+        electrode_count: Number of equally spaced electrode taps
+            (each needs a wire — the cost WiForce removes).
+        segments: Discretisation of the resistive ladder.
+        base_resistance: Total unpressed strip resistance [ohm].
+        sensitivity: Relative conductance increase per newton applied
+            to one pressure-kernel width.
+        pressure_width: Spatial spread of a press [m].
+        voltage_noise_std: Measurement noise on each transfer
+            resistance (relative).
+        rng: Random source.
+    """
+
+    def __init__(self, length: float = 80e-3, electrode_count: int = 8,
+                 segments: int = 64, base_resistance: float = 10e3,
+                 sensitivity: float = 0.8, pressure_width: float = 9e-3,
+                 voltage_noise_std: float = 2e-3,
+                 rng: Optional[np.random.Generator] = None):
+        if length <= 0.0 or base_resistance <= 0.0:
+            raise ConfigurationError(
+                "length and base resistance must be positive"
+            )
+        if electrode_count < 3:
+            raise ConfigurationError(
+                f"ERT needs >= 3 electrodes, got {electrode_count}"
+            )
+        if segments < electrode_count:
+            raise ConfigurationError(
+                "need at least one segment per electrode span"
+            )
+        if sensitivity <= 0.0 or pressure_width <= 0.0:
+            raise ConfigurationError(
+                "sensitivity and pressure width must be positive"
+            )
+        self.length = float(length)
+        self.electrode_count = int(electrode_count)
+        self.segments = int(segments)
+        self.base_resistance = float(base_resistance)
+        self.sensitivity = float(sensitivity)
+        self.pressure_width = float(pressure_width)
+        self.voltage_noise_std = float(voltage_noise_std)
+        self._rng = rng or np.random.default_rng()
+        self._x = (np.arange(segments) + 0.5) * (length / segments)
+        self._electrodes = np.linspace(0.0, length, electrode_count)
+
+    @property
+    def wire_count(self) -> int:
+        """Interface wires required (one per electrode)."""
+        return self.electrode_count
+
+    def _segment_resistances(self, force: float,
+                             location: float) -> np.ndarray:
+        """Per-segment resistance [ohm] under a press."""
+        base = self.base_resistance / self.segments
+        if force <= 0.0:
+            return np.full(self.segments, base)
+        u = (self._x - location) / self.pressure_width
+        profile = np.exp(-0.5 * u ** 2)
+        conductance_gain = 1.0 + self.sensitivity * force * profile
+        return base / conductance_gain
+
+    def _electrode_potentials(self, resistances: np.ndarray) -> np.ndarray:
+        """Potentials at the taps with 1 A driven end to end.
+
+        The ladder is series, so the potential at position x is the
+        cumulative resistance from the grounded end.
+        """
+        cumulative = np.concatenate([[0.0], np.cumsum(resistances)])
+        nodes = np.linspace(0.0, self.length, self.segments + 1)
+        return np.interp(self._electrodes, nodes, cumulative)
+
+    def measure(self, force: float, location: float) -> np.ndarray:
+        """Noisy electrode potentials for a press (current-driven)."""
+        if force < 0.0:
+            raise ConfigurationError(f"force must be >= 0, got {force}")
+        if not 0.0 <= location <= self.length:
+            raise ConfigurationError(
+                f"location {location} outside strip [0, {self.length}]"
+            )
+        potentials = self._electrode_potentials(
+            self._segment_resistances(force, location))
+        noise = self._rng.normal(
+            0.0, self.voltage_noise_std * self.base_resistance,
+            potentials.shape)
+        return potentials + noise
+
+    def reconstruct(self, potentials: np.ndarray,
+                    force_grid: Optional[np.ndarray] = None,
+                    location_grid: Optional[np.ndarray] = None
+                    ) -> ERTReading:
+        """Fit (force, location) to measured electrode potentials."""
+        potentials = np.asarray(potentials, dtype=float)
+        if potentials.shape != (self.electrode_count,):
+            raise ConfigurationError(
+                f"expected {self.electrode_count} potentials, got "
+                f"{potentials.shape}"
+            )
+        if force_grid is None:
+            force_grid = np.linspace(0.25, 10.0, 40)
+        if location_grid is None:
+            location_grid = np.linspace(0.05 * self.length,
+                                        0.95 * self.length, 37)
+        best: Tuple[float, float, float] = (0.0, 0.0, float("inf"))
+        for force in force_grid:
+            for location in location_grid:
+                model = self._electrode_potentials(
+                    self._segment_resistances(float(force),
+                                              float(location)))
+                residual = float(np.sqrt(np.mean(
+                    (model - potentials) ** 2)))
+                if residual < best[2]:
+                    best = (float(force), float(location), residual)
+        return ERTReading(force=best[0], location=best[1],
+                          residual=best[2])
+
+    def read(self, force: float, location: float) -> ERTReading:
+        """Measure-then-reconstruct convenience wrapper."""
+        return self.reconstruct(self.measure(force, location))

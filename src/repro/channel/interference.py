@@ -1,0 +1,154 @@
+"""Co-channel interference: bursty Wi-Fi traffic in the sounding band.
+
+WiForce's reader shares ISM spectrum with data traffic (the paper's
+pitch is precisely coexistence with Wi-Fi).  Foreign OFDM bursts that
+overlap a sounding frame corrupt that frame's channel estimate — not as
+white noise but as occasional large outliers.  This module models the
+bursty interferer, and :func:`corrupt_stream` applies it to a captured
+channel-estimate stream so the robust-extraction ablation can quantify
+the damage and the cure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.channel.noise import awgn
+from repro.errors import ChannelError
+from repro.reader.sounder import ChannelEstimateStream
+
+
+@dataclass(frozen=True)
+class BurstyInterferer:
+    """A packetized co-channel transmitter.
+
+    Attributes:
+        duty: Fraction of time the interferer is on the air.
+        burst_frames: Mean sounding frames one burst spans.
+        interference_to_signal_db: Corruption power relative to the
+            static channel magnitude during a hit [dB].
+    """
+
+    duty: float = 0.05
+    burst_frames: float = 3.0
+    interference_to_signal_db: float = -10.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.duty < 1.0:
+            raise ChannelError(f"duty must be in [0, 1), got {self.duty}")
+        if self.burst_frames < 1.0:
+            raise ChannelError(
+                f"burst span must be >= 1 frame, got {self.burst_frames}"
+            )
+
+    def hit_mask(self, frames: int,
+                 rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        """Boolean per-frame mask of interference hits.
+
+        A two-state (gap/burst) renewal process with geometric dwell
+        times matching the configured duty and burst length.
+        """
+        if frames < 1:
+            raise ChannelError(f"frames must be >= 1, got {frames}")
+        rng = rng or np.random.default_rng()
+        if self.duty == 0.0:
+            return np.zeros(frames, dtype=bool)
+        mean_gap = self.burst_frames * (1.0 - self.duty) / self.duty
+        mask = np.zeros(frames, dtype=bool)
+        index = 0
+        on_air = rng.random() < self.duty
+        while index < frames:
+            if on_air:
+                span = 1 + rng.geometric(1.0 / self.burst_frames)
+                mask[index:index + span] = True
+            else:
+                span = 1 + rng.geometric(1.0 / max(mean_gap, 1.0))
+            index += span
+            on_air = not on_air
+        return mask
+
+
+def corrupt_stream(stream: ChannelEstimateStream,
+                   interferer: BurstyInterferer,
+                   rng: Optional[np.random.Generator] = None
+                   ) -> Tuple[ChannelEstimateStream, np.ndarray]:
+    """Apply bursty interference to a channel-estimate stream.
+
+    Frames hit by a burst get a large complex perturbation scaled to
+    the stream's own signal level.
+
+    Returns:
+        (corrupted stream, per-frame hit mask).
+    """
+    rng = rng or np.random.default_rng()
+    mask = interferer.hit_mask(stream.frames, rng)
+    estimates = stream.estimates.copy()
+    if mask.any():
+        signal_power = float(np.mean(np.abs(stream.estimates) ** 2))
+        corruption_power = signal_power * 10.0 ** (
+            interferer.interference_to_signal_db / 10.0)
+        hits = int(mask.sum())
+        estimates[mask] += awgn(
+            (hits, stream.frequencies.size), corruption_power, rng)
+    return (
+        ChannelEstimateStream(
+            estimates=estimates,
+            times=stream.times.copy(),
+            frequencies=stream.frequencies.copy(),
+            frame_period=stream.frame_period,
+        ),
+        mask,
+    )
+
+
+def excise_interference(stream: ChannelEstimateStream,
+                        threshold_factor: float = 3.0,
+                        reference_percentile: float = 75.0
+                        ) -> Tuple[ChannelEstimateStream, np.ndarray]:
+    """Detect and blank interference-hit frames (robust pre-filter).
+
+    Each frame's total deviation from the median frame is compared
+    against a high percentile of the deviation distribution.  The
+    percentile basis matters: the tag's own switching produces a
+    *structured*, bounded spread of deviations (four switch states),
+    which the 75th percentile absorbs, while genuine interference hits
+    sit far above it (and, at up to ~20% duty, stay outside the
+    reference percentile).  Flagged frames are replaced by the median frame,
+    so the snapshot DFT sees a benign value instead of a spike;
+    blanking a few percent of frames costs a negligible amount of tone
+    energy.
+
+    Returns:
+        (cleaned stream, detected-hit mask).
+    """
+    if threshold_factor <= 0.0:
+        raise ChannelError(
+            f"threshold must be positive, got {threshold_factor}"
+        )
+    if not 50.0 <= reference_percentile < 100.0:
+        raise ChannelError(
+            f"reference percentile must be in [50, 100), got "
+            f"{reference_percentile}"
+        )
+    estimates = stream.estimates
+    median_frame = np.median(estimates.real, axis=0) + 1j * np.median(
+        estimates.imag, axis=0)
+    deviation = np.abs(estimates - median_frame[None, :]).sum(axis=1)
+    scale = float(np.percentile(deviation, reference_percentile))
+    if scale <= 0.0:
+        return stream, np.zeros(stream.frames, dtype=bool)
+    flagged = deviation > threshold_factor * scale
+    cleaned = estimates.copy()
+    cleaned[flagged] = median_frame
+    return (
+        ChannelEstimateStream(
+            estimates=cleaned,
+            times=stream.times.copy(),
+            frequencies=stream.frequencies.copy(),
+            frame_period=stream.frame_period,
+        ),
+        flagged,
+    )

@@ -1,0 +1,66 @@
+"""Receiver noise models.
+
+Two entry points: sample-level AWGN for the full OFDM modem, and the
+equivalent per-channel-estimate noise standard deviation used by the
+fast frame-level sounder.  The two are linked by the least-squares
+channel-estimation gain (a K-subcarrier estimate from an Np-sample
+preamble averages the noise down by the per-subcarrier sample count),
+and a cross-validation test in the suite holds them to each other.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ChannelError
+from repro.units import thermal_noise_power
+
+
+def awgn(shape, noise_power: float,
+         rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Complex white Gaussian noise with total power ``noise_power``.
+
+    Power is split evenly between I and Q.
+    """
+    if noise_power < 0.0:
+        raise ChannelError(f"noise power must be >= 0, got {noise_power}")
+    rng = rng or np.random.default_rng()
+    scale = np.sqrt(noise_power / 2.0)
+    return (rng.normal(0.0, 1.0, shape) + 1j * rng.normal(0.0, 1.0, shape)) * scale
+
+
+def channel_estimate_noise_std(bandwidth_hz: float, preamble_samples: int,
+                               subcarriers: int, tx_amplitude: float,
+                               noise_figure_db: float = 6.0) -> float:
+    """Std-dev of the complex noise on one subcarrier's channel estimate.
+
+    A least-squares estimate over a ``preamble_samples``-long known
+    preamble carrying ``subcarriers`` tones sees thermal noise (kTB
+    over the sounding bandwidth, times the receiver noise figure)
+    averaged down by the ``preamble_samples / subcarriers`` samples
+    contributing per tone, and normalised by the per-tone transmit
+    amplitude.
+
+    Args:
+        bandwidth_hz: Sounding bandwidth [Hz].
+        preamble_samples: Time-domain preamble length.
+        subcarriers: Number of sounded subcarriers.
+        tx_amplitude: RMS transmit amplitude (sqrt of TX power) [sqrt(W)].
+
+    Returns:
+        Per-subcarrier complex noise std (same units as the channel).
+    """
+    if preamble_samples < 1 or subcarriers < 1:
+        raise ChannelError("preamble samples and subcarriers must be >= 1")
+    if preamble_samples < subcarriers:
+        raise ChannelError(
+            f"preamble ({preamble_samples}) must be at least as long as "
+            f"the subcarrier count ({subcarriers})"
+        )
+    if tx_amplitude <= 0.0:
+        raise ChannelError(f"tx amplitude must be positive, got {tx_amplitude}")
+    noise = thermal_noise_power(bandwidth_hz, noise_figure_db)
+    averaging = preamble_samples / subcarriers
+    return float(np.sqrt(noise / averaging) / tx_amplitude)

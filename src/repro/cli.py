@@ -1,0 +1,210 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+    info        Print the default sensor design and deployment summary.
+    power       Print the tag power budget vs the digital baseline.
+    calibrate   Build the cubic sensor model and save it as JSON.
+    read        Simulate wireless reads of one press with a saved model.
+    demo        One-command end-to-end demo (build, calibrate, read).
+    report      Run every paper-figure runner, write REPORT.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    from repro.mechanics.dynamics import modal_summary
+    from repro.sensor.geometry import default_sensor_design
+
+    design = default_sensor_design()
+    line = design.line
+    print("WiForce default sensor (paper prototype):")
+    print(f"  length            : {line.length * 1e3:.0f} mm")
+    print(f"  trace / ground    : {line.width * 1e3:.1f} / "
+          f"{line.ground_width * 1e3:.1f} mm")
+    print(f"  air gap           : {line.height * 1e3:.2f} mm")
+    print(f"  Z0                : {line.characteristic_impedance:.1f} ohm")
+    print(f"  soft beam         : {design.soft_material.name}, "
+          f"{design.soft_thickness * 1e3:.0f} mm thick")
+    print(f"  switch            : {design.switch.name} "
+          f"(reflective={design.switch.is_reflective})")
+    summary = modal_summary(design.composite_beam(),
+                            foundation_stiffness=design.foundation_stiffness())
+    print(f"  fundamental mode  : {summary.fundamental:.1f} Hz")
+    print(f"  settling time     : {summary.settling_time * 1e3:.0f} ms "
+          "(phase-group stationarity margin)")
+    return 0
+
+
+def _cmd_power(args: argparse.Namespace) -> int:
+    from repro.baselines.digital_backscatter import (
+        digital_backscatter_power_budget,
+    )
+    from repro.sensor.power import wiforce_power_budget
+
+    wiforce = wiforce_power_budget()
+    digital = digital_backscatter_power_budget()
+    print(f"WiForce tag          : {wiforce.total_uw:8.3f} uW "
+          "(paper: < 1 uW)")
+    print(f"digital backscatter  : {digital.total_uw:8.3f} uW")
+    print(f"factor               : {digital.total / wiforce.total:8.0f}x")
+    return 0
+
+
+def _build_tag(fast: bool):
+    from repro.sensor.geometry import default_sensor_design
+    from repro.sensor.tag import WiForceTag
+    from repro.sensor.transduction import ForceTransducer
+
+    design = default_sensor_design()
+    if fast:
+        transducer = ForceTransducer(design, force_points=20,
+                                     location_points=25)
+    else:
+        transducer = ForceTransducer(design)
+    return WiForceTag(transducer)
+
+
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    from repro.core.calibration import calibrate_harmonic_observable
+
+    print(f"Calibrating at {args.carrier / 1e6:.0f} MHz "
+          f"({'fast' if args.fast else 'full'} contact map)...")
+    tag = _build_tag(args.fast)
+    locations = (0.020, 0.030, 0.040, 0.050, 0.060)
+    forces = np.linspace(0.5, 8.0, 16)
+    model = calibrate_harmonic_observable(tag, args.carrier, locations,
+                                          forces)
+    model.save(args.output)
+    print(f"Saved sensor model to {args.output}")
+    return 0
+
+
+def _cmd_read(args: argparse.Namespace) -> int:
+    from repro.channel.multipath import indoor_channel
+    from repro.channel.propagation import BackscatterLink
+    from repro.core.calibration import SensorModel
+    from repro.core.pipeline import WiForceReader
+    from repro.reader.sounder import FrameLevelSounder
+    from repro.reader.waveform import OFDMSounderConfig
+    from repro.sensor.tag import TagState
+
+    model = SensorModel.load(args.model)
+    tag = _build_tag(args.fast)
+    rng = np.random.default_rng(args.seed)
+    sounder = FrameLevelSounder(
+        OFDMSounderConfig(carrier_frequency=model.frequency), tag,
+        BackscatterLink(), indoor_channel(model.frequency, rng=rng),
+        rng=rng)
+    reader = WiForceReader(sounder, model)
+    for _ in range(args.repeats):
+        reading = reader.read(TagState(args.force, args.location),
+                              rebaseline=True)
+        print(f"estimated: {reading.force:6.2f} N at "
+              f"{reading.location * 1e3:6.1f} mm   (phases "
+              f"{np.degrees(reading.phi1):7.1f}, "
+              f"{np.degrees(reading.phi2):7.1f} deg)")
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro import TagState, build_default_system
+
+    print("Building the default deployment (this calibrates the sensor "
+          "model; ~15 s)...")
+    transducer = None
+    if args.fast:
+        from repro.sensor.geometry import default_sensor_design
+        from repro.sensor.transduction import ForceTransducer
+        transducer = ForceTransducer(default_sensor_design(),
+                                     force_points=20, location_points=25)
+    system = build_default_system(carrier_frequency=args.carrier,
+                                  seed=args.seed, transducer=transducer)
+    system.reader.capture_baseline()
+    for force, location in ((2.0, 0.030), (5.0, 0.050)):
+        reading = system.reader.read(TagState(force, location),
+                                     rebaseline=True)
+        print(f"press {force:.1f} N @ {location * 1e3:.0f} mm -> "
+              f"read {reading.force:.2f} N @ "
+              f"{reading.location * 1e3:.1f} mm")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import generate_report
+
+    print("Running every paper-figure runner "
+          f"({'fast' if args.fast else 'full'} mode)...")
+    path = generate_report(args.output, fast=args.fast)
+    print(f"Wrote {path}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The repro CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="WiForce reproduction command-line tools",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="print the sensor design summary")
+    sub.add_parser("power", help="print tag vs digital power budgets")
+
+    calibrate = sub.add_parser("calibrate",
+                               help="build and save a sensor model")
+    calibrate.add_argument("--carrier", type=float, default=900e6,
+                           help="carrier frequency [Hz] (default 900e6)")
+    calibrate.add_argument("--output", default="wiforce_model.json",
+                           help="output JSON path")
+    calibrate.add_argument("--fast", action="store_true",
+                           help="reduced-resolution contact map")
+
+    read = sub.add_parser("read", help="simulate wireless reads")
+    read.add_argument("--model", required=True, help="saved model JSON")
+    read.add_argument("--force", type=float, required=True,
+                      help="applied force [N]")
+    read.add_argument("--location", type=float, required=True,
+                      help="press location [m] from port 1")
+    read.add_argument("--repeats", type=int, default=3)
+    read.add_argument("--seed", type=int, default=0)
+    read.add_argument("--fast", action="store_true")
+
+    demo = sub.add_parser("demo", help="end-to-end demo")
+    demo.add_argument("--carrier", type=float, default=900e6)
+    demo.add_argument("--seed", type=int, default=1)
+    demo.add_argument("--fast", action="store_true")
+
+    reproduce = sub.add_parser(
+        "report", help="run all paper-figure runners, write REPORT.md")
+    reproduce.add_argument("--output", default="REPORT.md")
+    reproduce.add_argument("--full", dest="fast", action="store_false",
+                           help="full-resolution transducers (slower)")
+
+    return parser
+
+
+_COMMANDS = {
+    "info": _cmd_info,
+    "power": _cmd_power,
+    "calibrate": _cmd_calibrate,
+    "read": _cmd_read,
+    "demo": _cmd_demo,
+    "report": _cmd_report,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,91 @@
+"""WiForce's core contribution: the wireless force-reading algorithm.
+
+Paper section 3.3 end to end: group periodic wideband channel
+estimates into *phase groups*, take the snapshot-axis DFT to isolate
+the tag's "artificial Doppler" tones from static multipath, conjugate-
+multiply consecutive groups to cancel air/hardware phase, average over
+subcarriers for robustness, and invert a calibrated cubic phase-force
+model to recover contact force magnitude and location.
+"""
+
+from repro.core.harmonics import (
+    HarmonicExtractor,
+    HarmonicMatrix,
+    integer_period_group_length,
+)
+from repro.core.phase import (
+    differential_phase,
+    per_subcarrier_phases,
+    phase_trajectory,
+    phase_stability_deg,
+)
+from repro.core.adaptive import (
+    GroupLengthChoice,
+    optimal_group_length,
+    predicted_phase_std_deg,
+)
+from repro.core.calibration import (
+    CalibrationCurve,
+    SensorModel,
+    calibrate_port_observable,
+    calibrate_harmonic_observable,
+    calibrate_with_rig,
+)
+from repro.core.estimator import ForceLocationEstimate, ForceLocationEstimator
+from repro.core.pipeline import WiForceReader, PressReading
+from repro.core.diagnostics import (
+    DiscoveredTag,
+    DiscoveredTone,
+    LinkReport,
+    discover_tags,
+    link_report,
+    scan_tones,
+)
+from repro.core.smoothing import SmoothedSample, TrackSmoother
+from repro.core.tracking import StreamingTracker, TouchEvent, TrackedSample
+from repro.core.twodim import TwoDimensionalArray, ArraySensorPlacement
+from repro.core.uncertainty import (
+    ReadingUncertainty,
+    model_jacobian,
+    phase_std_from_snr,
+    reading_uncertainty,
+)
+
+__all__ = [
+    "HarmonicExtractor",
+    "HarmonicMatrix",
+    "integer_period_group_length",
+    "differential_phase",
+    "per_subcarrier_phases",
+    "phase_trajectory",
+    "phase_stability_deg",
+    "GroupLengthChoice",
+    "optimal_group_length",
+    "predicted_phase_std_deg",
+    "CalibrationCurve",
+    "SensorModel",
+    "calibrate_port_observable",
+    "calibrate_harmonic_observable",
+    "calibrate_with_rig",
+    "ForceLocationEstimate",
+    "ForceLocationEstimator",
+    "WiForceReader",
+    "PressReading",
+    "DiscoveredTag",
+    "DiscoveredTone",
+    "LinkReport",
+    "discover_tags",
+    "link_report",
+    "scan_tones",
+    "SmoothedSample",
+    "TrackSmoother",
+    "StreamingTracker",
+    "TouchEvent",
+    "TrackedSample",
+    "TwoDimensionalArray",
+    "ArraySensorPlacement",
+    "ReadingUncertainty",
+    "model_jacobian",
+    "phase_std_from_snr",
+    "reading_uncertainty",
+]

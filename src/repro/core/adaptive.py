@@ -1,0 +1,98 @@
+"""Adaptive phase-group sizing.
+
+The group-length ablation shows the trade-off: longer groups integrate
+receiver noise down (phase noise ∝ 1/sqrt(N)) but accumulate more tag-
+oscillator wander (∝ sqrt(N T)) and stretch the static-force
+assumption.  Given a deployment's measured tone SNR and the oscillator
+quality, the optimum is analytic — this module computes it and snaps it
+to the nearest valid integer-period group length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.harmonics import integer_period_group_length
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class GroupLengthChoice:
+    """A tuned phase-group configuration.
+
+    Attributes:
+        group_length: Snapshots per group.
+        group_duration: Seconds per group.
+        predicted_phase_std_deg: Phase error at the chosen length.
+        noise_limited: True when receiver noise (not oscillator
+            wander) dominates at the chosen length.
+    """
+
+    group_length: int
+    group_duration: float
+    predicted_phase_std_deg: float
+    noise_limited: bool
+
+
+def predicted_phase_std_deg(group_length: int, frame_period: float,
+                            per_snapshot_phase_std_deg: float,
+                            jitter_deg_per_sqrt_s: float) -> float:
+    """Phase error model at a given group length.
+
+    Receiver-noise part ``sigma_0 / sqrt(N)`` plus oscillator random
+    walk ``j * sqrt(N T)``, combined in quadrature.
+    """
+    if group_length < 1 or frame_period <= 0.0:
+        raise ConfigurationError("need positive group length and period")
+    if per_snapshot_phase_std_deg < 0.0 or jitter_deg_per_sqrt_s < 0.0:
+        raise ConfigurationError("noise parameters must be >= 0")
+    noise = per_snapshot_phase_std_deg / np.sqrt(group_length)
+    wander = jitter_deg_per_sqrt_s * np.sqrt(group_length * frame_period)
+    return float(np.hypot(noise, wander))
+
+
+def optimal_group_length(frame_period: float, base_frequency: float,
+                         per_snapshot_phase_std_deg: float,
+                         jitter_deg_per_sqrt_s: float,
+                         max_duration: float = 0.25) -> GroupLengthChoice:
+    """Choose the phase-group length for a deployment.
+
+    Minimises the analytic phase-error model over integer multiples of
+    the integer-period base length (so the DC nulls are preserved),
+    capped by ``max_duration`` (the static-force window).
+
+    Args:
+        frame_period: Channel-estimate period T [s].
+        base_frequency: Tag base clock fs [Hz].
+        per_snapshot_phase_std_deg: Single-snapshot tone phase noise
+            [deg] (from the link budget or a measurement).
+        jitter_deg_per_sqrt_s: Oscillator wander [deg/sqrt(s)].
+        max_duration: Longest admissible group [s].
+    """
+    if max_duration <= 0.0:
+        raise ConfigurationError("max duration must be positive")
+    base = integer_period_group_length(frame_period, base_frequency)
+    best: GroupLengthChoice = None  # type: ignore[assignment]
+    multiple = 1
+    while multiple * base * frame_period <= max_duration or multiple == 1:
+        length = multiple * base
+        error = predicted_phase_std_deg(
+            length, frame_period, per_snapshot_phase_std_deg,
+            jitter_deg_per_sqrt_s)
+        noise_part = per_snapshot_phase_std_deg / np.sqrt(length)
+        wander_part = jitter_deg_per_sqrt_s * np.sqrt(
+            length * frame_period)
+        choice = GroupLengthChoice(
+            group_length=length,
+            group_duration=length * frame_period,
+            predicted_phase_std_deg=error,
+            noise_limited=bool(noise_part >= wander_part),
+        )
+        if best is None or error < best.predicted_phase_std_deg:
+            best = choice
+        multiple += 1
+        if multiple * base * frame_period > max_duration:
+            break
+    return best

@@ -1,0 +1,373 @@
+"""The sensor model: cubic phase-force calibration (paper section 4.2).
+
+The paper presses the sensor at five known locations (20..60 mm) with
+known forces, records the differential phases at both ports, and fits
+a cubic phase-force curve per (port, location).  Intermediate
+locations are linearly interpolated (validated at 55 mm in Table 1).
+The fitted model is what the estimator inverts.
+
+Two calibration observables are supported:
+
+* ``port`` — the VNA observable: differential reflection phase at the
+  sensor's own ports (the paper's wired calibration).
+* ``harmonic`` — the wireless observable: phase of the switching-tone
+  difference vector at the tag's antenna, exactly what the reader's
+  conjugate-multiply measures.  Using it keeps the calibration and the
+  over-the-air measurement in the same domain (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import CalibrationError
+from repro.sensor.tag import TagState, WiForceTag
+from repro.sensor.transduction import ForceTransducer
+
+
+@dataclass(frozen=True)
+class CalibrationCurve:
+    """Cubic phase-force fit for one (port, location).
+
+    Attributes:
+        location: Calibrated press location [m].
+        coefficients: Polynomial coefficients, highest power first
+            (numpy polyval convention), phase in radians vs force in
+            newtons.
+        force_range: (min, max) force [N] covered by the fit.
+    """
+
+    location: float
+    coefficients: Tuple[float, ...]
+    force_range: Tuple[float, float]
+
+    def phase(self, force: Union[float, np.ndarray]) -> np.ndarray:
+        """Predicted phase [rad]; forces are clipped to the fit range."""
+        force = np.clip(np.asarray(force, dtype=float),
+                        self.force_range[0], self.force_range[1])
+        return np.polyval(self.coefficients, force)
+
+
+class SensorModel:
+    """Interpolated two-port phase-force model over the sensor length.
+
+    Args:
+        locations: Calibrated locations [m], ascending.
+        port1_curves / port2_curves: One cubic fit per location.
+        frequency: Carrier the calibration was taken at [Hz].
+    """
+
+    def __init__(self, locations: Sequence[float],
+                 port1_curves: Sequence[CalibrationCurve],
+                 port2_curves: Sequence[CalibrationCurve],
+                 frequency: float):
+        self._locations = np.asarray(list(locations), dtype=float)
+        if self._locations.size < 2:
+            raise CalibrationError(
+                "need at least 2 calibrated locations for interpolation"
+            )
+        if np.any(np.diff(self._locations) <= 0.0):
+            raise CalibrationError("locations must be strictly ascending")
+        if not (len(port1_curves) == len(port2_curves)
+                == self._locations.size):
+            raise CalibrationError(
+                "one curve per port per location is required"
+            )
+        self._port1 = list(port1_curves)
+        self._port2 = list(port2_curves)
+        self.frequency = float(frequency)
+
+    @property
+    def locations(self) -> np.ndarray:
+        """Calibrated locations [m] (copy)."""
+        return self._locations.copy()
+
+    @property
+    def force_range(self) -> Tuple[float, float]:
+        """Common calibrated force range [N]."""
+        low = max(curve.force_range[0] for curve in self._port1 + self._port2)
+        high = min(curve.force_range[1] for curve in self._port1 + self._port2)
+        return low, high
+
+    def _interpolate(self, curves: List[CalibrationCurve], force: float,
+                     location: float) -> float:
+        loc = float(np.clip(location, self._locations[0],
+                            self._locations[-1]))
+        j = int(np.searchsorted(self._locations, loc) - 1)
+        j = max(0, min(j, self._locations.size - 2))
+        t = (loc - self._locations[j]) / (
+            self._locations[j + 1] - self._locations[j])
+        low = float(curves[j].phase(force))
+        high = float(curves[j + 1].phase(force))
+        return (1.0 - t) * low + t * high
+
+    def predict(self, force: float, location: float) -> Tuple[float, float]:
+        """(phi1, phi2) [rad] for a press of ``force`` at ``location``."""
+        if force < 0.0:
+            raise CalibrationError(f"force must be >= 0, got {force}")
+        return (self._interpolate(self._port1, force, location),
+                self._interpolate(self._port2, force, location))
+
+    def predict_grid(self, forces: np.ndarray,
+                     locations: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized prediction over a (force, location) grid.
+
+        Returns two arrays shaped (len(forces), len(locations)).
+        """
+        forces = np.asarray(forces, dtype=float)
+        locations = np.asarray(locations, dtype=float)
+        phi1 = np.empty((forces.size, locations.size))
+        phi2 = np.empty_like(phi1)
+        for j, raw_location in enumerate(locations):
+            loc = float(np.clip(raw_location, self._locations[0],
+                                self._locations[-1]))
+            index = int(np.searchsorted(self._locations, loc) - 1)
+            index = max(0, min(index, self._locations.size - 2))
+            t = (loc - self._locations[index]) / (
+                self._locations[index + 1] - self._locations[index])
+            for curves, target in ((self._port1, phi1), (self._port2, phi2)):
+                low = curves[index].phase(forces)
+                high = curves[index + 1].phase(forces)
+                target[:, j] = (1.0 - t) * low + t * high
+        return phi1, phi2
+
+    # -- persistence ----------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        """JSON-serialisable representation."""
+        def curve_dict(curve: CalibrationCurve) -> Dict:
+            return {
+                "location": curve.location,
+                "coefficients": list(curve.coefficients),
+                "force_range": list(curve.force_range),
+            }
+
+        return {
+            "frequency": self.frequency,
+            "locations": self._locations.tolist(),
+            "port1": [curve_dict(c) for c in self._port1],
+            "port2": [curve_dict(c) for c in self._port2],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "SensorModel":
+        """Rebuild a model serialised with :meth:`to_dict`."""
+        def curve(entry: Dict) -> CalibrationCurve:
+            return CalibrationCurve(
+                location=float(entry["location"]),
+                coefficients=tuple(entry["coefficients"]),
+                force_range=(float(entry["force_range"][0]),
+                             float(entry["force_range"][1])),
+            )
+
+        return cls(
+            locations=data["locations"],
+            port1_curves=[curve(c) for c in data["port1"]],
+            port2_curves=[curve(c) for c in data["port2"]],
+            frequency=float(data["frequency"]),
+        )
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the model to a JSON file."""
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2))
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "SensorModel":
+        """Read a model from a JSON file."""
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+
+def fit_sensor_model(locations: Sequence[float], forces: Sequence[float],
+                     phases_port1: np.ndarray, phases_port2: np.ndarray,
+                     frequency: float, degree: int = 3) -> SensorModel:
+    """Fit per-location cubic curves from measured phase data.
+
+    Args:
+        locations: Calibrated locations [m], ascending, length L.
+        forces: Force samples [N], length F.
+        phases_port1 / phases_port2: Measured phases [rad], shape (L, F).
+        frequency: Calibration carrier [Hz].
+        degree: Polynomial degree (3 = the paper's cubic fit).
+    """
+    forces = np.asarray(list(forces), dtype=float)
+    phases_port1 = np.asarray(phases_port1, dtype=float)
+    phases_port2 = np.asarray(phases_port2, dtype=float)
+    expected = (len(list(locations)), forces.size)
+    if phases_port1.shape != expected or phases_port2.shape != expected:
+        raise CalibrationError(
+            f"phase arrays must be shaped {expected}, got "
+            f"{phases_port1.shape} and {phases_port2.shape}"
+        )
+    if forces.size < degree + 1:
+        raise CalibrationError(
+            f"need at least {degree + 1} force samples for a degree-"
+            f"{degree} fit, got {forces.size}"
+        )
+    port1_curves = []
+    port2_curves = []
+    for index, location in enumerate(locations):
+        # Pre-contact samples (no shorting yet) report exactly zero at
+        # both ports; they sit on a different branch of the physics and
+        # must not enter the cubic fit.  Stiff units may not touch
+        # until well above the lowest commanded force.
+        in_contact = ((phases_port1[index] != 0.0)
+                      | (phases_port2[index] != 0.0))
+        if int(in_contact.sum()) < degree + 1:
+            raise CalibrationError(
+                f"location {location}: only {int(in_contact.sum())} "
+                f"in-contact samples; raise the calibration forces"
+            )
+        valid_forces = forces[in_contact]
+        force_range = (float(valid_forces.min()),
+                       float(valid_forces.max()))
+        # Unwrap along the force axis: the physical phase is continuous
+        # in force even when the wrapped measurement crosses +/- pi.
+        phase1 = np.unwrap(phases_port1[index][in_contact])
+        phase2 = np.unwrap(phases_port2[index][in_contact])
+        coeff1 = np.polyfit(valid_forces, phase1, degree)
+        coeff2 = np.polyfit(valid_forces, phase2, degree)
+        port1_curves.append(CalibrationCurve(
+            float(location), tuple(coeff1), force_range))
+        port2_curves.append(CalibrationCurve(
+            float(location), tuple(coeff2), force_range))
+    return SensorModel(locations, port1_curves, port2_curves, frequency)
+
+
+def calibrate_port_observable(
+    transducer: ForceTransducer, frequency: float,
+    locations: Sequence[float], forces: Sequence[float],
+    phase_noise_std_deg: float = 0.0,
+    rng: Optional[np.random.Generator] = None,
+) -> SensorModel:
+    """Calibrate from the VNA (sensor-port) observable (section 4.2).
+
+    Optionally adds VNA phase trace noise to the samples before the
+    cubic fit, as a real calibration would contain.
+    """
+    rng = rng or np.random.default_rng()
+    locations = list(locations)
+    forces = list(forces)
+    phases1 = np.zeros((len(locations), len(forces)))
+    phases2 = np.zeros_like(phases1)
+    for i, location in enumerate(locations):
+        for j, force in enumerate(forces):
+            observed = transducer.differential_phases(frequency, float(force),
+                                                      float(location))
+            phases1[i, j] = observed.port1
+            phases2[i, j] = observed.port2
+    if phase_noise_std_deg > 0.0:
+        noise = np.radians(phase_noise_std_deg)
+        phases1 = phases1 + rng.normal(0.0, noise, phases1.shape)
+        phases2 = phases2 + rng.normal(0.0, noise, phases2.shape)
+    return fit_sensor_model(locations, forces, phases1, phases2, frequency)
+
+
+def calibrate_with_rig(
+    transducer: ForceTransducer, frequency: float,
+    locations: Sequence[float], forces: Sequence[float],
+    rig, phase_noise_std_deg: float = 0.5,
+    tag: Optional[WiForceTag] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> SensorModel:
+    """Calibrate the way the paper actually does it (section 4.2).
+
+    The actuated indenter presses each calibration location with each
+    commanded force; the *applied* force (with regulation error) drives
+    the sensor, the phases are measured with trace noise, and the cubic
+    fit runs against the *load-cell* readings — so the model carries
+    the same measurement imperfections a physical calibration would.
+
+    Args:
+        transducer: The sensor under calibration.
+        frequency: Calibration carrier [Hz].
+        locations: Calibration press locations [m].
+        forces: Commanded force schedule [N].
+        rig: A :class:`repro.mechanics.indenter.GroundTruthRig`.
+        phase_noise_std_deg: Phase trace noise [deg].
+        tag: When given, calibrate through the assembled tag in the
+            wireless (switching-harmonic) observable — the domain the
+            reader actually measures in.  When ``None``, use the wired
+            VNA (sensor-port) observable.
+        rng: Random source for the phase noise.
+    """
+    rng = rng or np.random.default_rng()
+    locations = list(locations)
+    forces = list(forces)
+    noise = np.radians(phase_noise_std_deg)
+    phases1 = np.zeros((len(locations), len(forces)))
+    phases2 = np.zeros_like(phases1)
+    measured_forces = np.zeros_like(phases1)
+    for i, location in enumerate(locations):
+        for j, force in enumerate(forces):
+            press = rig.press(float(force), float(location))
+            if tag is not None:
+                phi1, phi2 = harmonic_differential_phases(
+                    tag, frequency, press.applied_force,
+                    press.applied_location)
+            else:
+                observed = transducer.differential_phases(
+                    frequency, press.applied_force,
+                    press.applied_location)
+                phi1, phi2 = observed.port1, observed.port2
+            phases1[i, j] = phi1 + rng.normal(0.0, noise)
+            phases2[i, j] = phi2 + rng.normal(0.0, noise)
+            measured_forces[i, j] = press.measured_force
+    # Per-location force axes differ slightly (regulation error); fit
+    # against the mean measured schedule, which is what a practitioner
+    # tabulating load-cell readings would use.
+    force_axis = measured_forces.mean(axis=0)
+    return fit_sensor_model(locations, force_axis, phases1, phases2,
+                            frequency)
+
+
+def harmonic_differential_phases(tag: WiForceTag, frequency: float,
+                                 force: float,
+                                 location: float) -> Tuple[float, float]:
+    """The wireless observable for one press, computed noiselessly.
+
+    Phase of the switching-tone difference vector (on-state minus
+    off-state reflection) of the pressed tag, conjugated against the
+    untouched tag — exactly what the reader's phase-group processing
+    converges to as noise vanishes.
+    """
+    grid = np.array([float(frequency)])
+    base = tag.state_reflections(grid, TagState())
+    touch = tag.state_reflections(grid, TagState(force, location))
+
+    def difference(states, key):
+        return states[key][0] - states[(False, False)][0]
+
+    phi1 = np.angle(difference(touch, (True, False))
+                    * np.conj(difference(base, (True, False))))
+    phi2 = np.angle(difference(touch, (False, True))
+                    * np.conj(difference(base, (False, True))))
+    return float(phi1), float(phi2)
+
+
+def calibrate_harmonic_observable(
+    tag: WiForceTag, frequency: float, locations: Sequence[float],
+    forces: Sequence[float],
+) -> SensorModel:
+    """Calibrate in the wireless (switching-harmonic) domain.
+
+    A bench calibration of the assembled tag: noiseless harmonic-domain
+    phases per (location, force), cubic-fitted exactly like the VNA
+    model.  This is the model the estimator should use for over-the-air
+    readings, since it lives in the same observable domain.
+    """
+    locations = list(locations)
+    forces = list(forces)
+    phases1 = np.zeros((len(locations), len(forces)))
+    phases2 = np.zeros_like(phases1)
+    for i, location in enumerate(locations):
+        for j, force in enumerate(forces):
+            phi1, phi2 = harmonic_differential_phases(
+                tag, frequency, float(force), float(location))
+            phases1[i, j] = phi1
+            phases2[i, j] = phi2
+    return fit_sensor_model(locations, forces, phases1, phases2, frequency)

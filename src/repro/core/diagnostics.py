@@ -1,0 +1,158 @@
+"""Link diagnostics and blind tag discovery.
+
+A deployed reader does not always know the tag's clock plan up front
+(several strips may share a room, each on its own base frequency —
+the 2-D extension of section 7).  This module scans the snapshot-axis
+Doppler spectrum for switching-tone signatures, matches the WiForce
+comb pattern (energy at fs and 4 fs, collision energy at 2 fs), and
+reports per-tone link quality so a deployment can be validated before
+calibration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.harmonics import HarmonicExtractor
+from repro.core.phase import harmonic_snr_db
+from repro.errors import ReaderError
+from repro.reader.sounder import ChannelEstimateStream
+
+
+@dataclass(frozen=True)
+class DiscoveredTone:
+    """One spectral line found in the Doppler scan.
+
+    Attributes:
+        frequency: Tone frequency [Hz].
+        magnitude_db: Tone magnitude relative to the spectrum floor.
+    """
+
+    frequency: float
+    magnitude_db: float
+
+
+@dataclass(frozen=True)
+class DiscoveredTag:
+    """A tag identified from its comb signature.
+
+    Attributes:
+        base_frequency: The tag's fs [Hz].
+        readout_tones: (fs, 4 fs) [Hz].
+        confidence_db: Weakest supporting line above the floor [dB].
+    """
+
+    base_frequency: float
+    readout_tones: Tuple[float, float]
+    confidence_db: float
+
+
+def scan_tones(stream: ChannelEstimateStream, group_length: int,
+               floor_percentile: float = 75.0,
+               min_prominence_db: float = 12.0) -> List[DiscoveredTone]:
+    """Find spectral lines in the snapshot-axis FFT of a stream.
+
+    Args:
+        stream: Channel estimates (untouched sensor is fine; the
+            switching tones are always present).
+        group_length: Snapshots per analysis group.
+        floor_percentile: Percentile of the magnitude spectrum used as
+            the noise floor.
+        min_prominence_db: Required line height above the floor.
+
+    Returns:
+        Tones at positive frequencies, strongest first.
+    """
+    extractor = HarmonicExtractor(tones=(1.0,), group_length=group_length)
+    frequencies, magnitude = extractor.doppler_spectrum(stream)
+    positive = frequencies > 0.0
+    frequencies = frequencies[positive]
+    magnitude = magnitude[positive]
+    floor = np.percentile(magnitude, floor_percentile)
+    if floor <= 0.0:
+        raise ReaderError("degenerate spectrum: zero noise floor")
+    prominence_db = 20.0 * np.log10(np.maximum(magnitude, 1e-300) / floor)
+    peaks = []
+    for index in range(1, frequencies.size - 1):
+        if (prominence_db[index] >= min_prominence_db
+                and magnitude[index] >= magnitude[index - 1]
+                and magnitude[index] >= magnitude[index + 1]):
+            peaks.append(DiscoveredTone(
+                frequency=float(frequencies[index]),
+                magnitude_db=float(prominence_db[index])))
+    peaks.sort(key=lambda tone: -tone.magnitude_db)
+    return peaks
+
+
+def discover_tags(stream: ChannelEstimateStream, group_length: int,
+                  tolerance: float = 0.1,
+                  min_prominence_db: float = 12.0) -> List[DiscoveredTag]:
+    """Match WiForce comb signatures among the discovered tones.
+
+    A WiForce tag shows lines at fs and 4 fs (its readout tones) and
+    usually at 2 fs (the collision tone).  Any tone that has a partner
+    at 4x its frequency is reported as a candidate tag.
+
+    Args:
+        stream: Channel estimates.
+        group_length: Snapshots per analysis group.
+        tolerance: Relative frequency matching tolerance.
+        min_prominence_db: Line threshold for the underlying scan.
+    """
+    tones = scan_tones(stream, group_length,
+                       min_prominence_db=min_prominence_db)
+    frequencies = np.array([tone.frequency for tone in tones])
+    tags: List[DiscoveredTag] = []
+    claimed: set = set()
+    for tone in tones:
+        if tone.frequency in claimed:
+            continue
+        target = 4.0 * tone.frequency
+        matches = np.flatnonzero(
+            np.abs(frequencies - target) <= tolerance * target)
+        if matches.size == 0:
+            continue
+        partner = tones[int(matches[0])]
+        tags.append(DiscoveredTag(
+            base_frequency=tone.frequency,
+            readout_tones=(tone.frequency, partner.frequency),
+            confidence_db=min(tone.magnitude_db, partner.magnitude_db)))
+        claimed.add(tone.frequency)
+        claimed.add(partner.frequency)
+    tags.sort(key=lambda tag: -tag.confidence_db)
+    return tags
+
+
+@dataclass(frozen=True)
+class LinkReport:
+    """Per-tone link quality of one capture.
+
+    Attributes:
+        tone_snrs_db: (tone [Hz], SNR [dB]) pairs.
+        usable: Whether every tone clears the threshold.
+    """
+
+    tone_snrs_db: Tuple[Tuple[float, float], ...]
+    usable: bool
+
+
+def link_report(stream: ChannelEstimateStream, tones: Sequence[float],
+                group_length: int,
+                min_snr_db: float = 10.0) -> LinkReport:
+    """Measure per-tone SNR and judge deployment health.
+
+    Run on an untouched capture before calibration: if a readout tone
+    is buried, the deployment (range, TX power, direct-path isolation)
+    needs fixing before any force reading can work.
+    """
+    extractor = HarmonicExtractor(tones=tuple(tones),
+                                  group_length=group_length)
+    matrices = extractor.extract(stream)
+    snrs = []
+    for tone in tones:
+        snrs.append((float(tone), harmonic_snr_db(matrices[tone])))
+    usable = all(snr >= min_snr_db for _, snr in snrs)
+    return LinkReport(tone_snrs_db=tuple(snrs), usable=usable)

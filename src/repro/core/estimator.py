@@ -1,0 +1,124 @@
+"""Force magnitude + location estimation by model inversion.
+
+Given the pair of measured differential phases (phi1, phi2), find the
+(force, location) whose model-predicted phases best match.  Residuals
+are compared on the unit circle (wrapped), the search is a coarse grid
+followed by two local zoom refinements — deterministic, derivative-free
+and robust to the model's mild non-monotonicities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.calibration import SensorModel
+from repro.errors import EstimationError
+
+
+@dataclass(frozen=True)
+class ForceLocationEstimate:
+    """One inverted reading.
+
+    Attributes:
+        force: Estimated contact force [N].
+        location: Estimated contact location [m] from port 1.
+        residual: RMS wrapped phase residual at the optimum [rad].
+        touched: False when the phases say "no contact".
+    """
+
+    force: float
+    location: float
+    residual: float
+    touched: bool
+
+
+def _wrapped_residual(predicted: Tuple[float, float],
+                      measured: Tuple[float, float]) -> float:
+    error1 = np.angle(np.exp(1j * (measured[0] - predicted[0])))
+    error2 = np.angle(np.exp(1j * (measured[1] - predicted[1])))
+    return float(np.sqrt(0.5 * (error1 ** 2 + error2 ** 2)))
+
+
+class ForceLocationEstimator:
+    """Inverts a :class:`SensorModel`.
+
+    Args:
+        model: Calibrated phase-force model.
+        touch_threshold_deg: Phases below this magnitude at both ports
+            are classified as "no contact".
+        force_resolution / location_resolution: Final grid pitch of the
+            zoomed search [N] / [m].
+    """
+
+    def __init__(self, model: SensorModel, touch_threshold_deg: float = 5.0,
+                 force_resolution: float = 0.01,
+                 location_resolution: float = 0.05e-3):
+        if touch_threshold_deg < 0.0:
+            raise EstimationError(
+                f"touch threshold must be >= 0, got {touch_threshold_deg}"
+            )
+        if force_resolution <= 0.0 or location_resolution <= 0.0:
+            raise EstimationError("search resolutions must be positive")
+        self.model = model
+        self.touch_threshold = np.radians(touch_threshold_deg)
+        self.force_resolution = float(force_resolution)
+        self.location_resolution = float(location_resolution)
+
+    def _grid_search(self, measured: Tuple[float, float],
+                     force_span: Tuple[float, float],
+                     location_span: Tuple[float, float],
+                     points: int) -> Tuple[float, float, float]:
+        forces = np.linspace(force_span[0], force_span[1], points)
+        locations = np.linspace(location_span[0], location_span[1], points)
+        phi1, phi2 = self.model.predict_grid(forces, locations)
+        error1 = np.angle(np.exp(1j * (measured[0] - phi1)))
+        error2 = np.angle(np.exp(1j * (measured[1] - phi2)))
+        cost = 0.5 * (error1 ** 2 + error2 ** 2)
+        index = np.unravel_index(int(np.argmin(cost)), cost.shape)
+        best_force = float(forces[index[0]])
+        best_location = float(locations[index[1]])
+        return best_force, best_location, float(np.sqrt(cost[index]))
+
+    def invert(self, phi1: float, phi2: float,
+               location_hint: Optional[float] = None
+               ) -> ForceLocationEstimate:
+        """Estimate (force, location) from measured phases [rad].
+
+        Args:
+            phi1 / phi2: Differential phases at the two readout tones.
+            location_hint: Optional prior location [m]; restricts the
+                initial search to +/- 10 mm around it.
+        """
+        if (abs(phi1) < self.touch_threshold
+                and abs(phi2) < self.touch_threshold):
+            return ForceLocationEstimate(force=0.0, location=0.0,
+                                         residual=0.0, touched=False)
+        force_low, force_high = self.model.force_range
+        locations = self.model.locations
+        location_low, location_high = float(locations[0]), float(locations[-1])
+        if location_hint is not None:
+            location_low = max(location_low, location_hint - 10e-3)
+            location_high = min(location_high, location_hint + 10e-3)
+            if location_low >= location_high:
+                raise EstimationError(
+                    f"location hint {location_hint} m lies outside the "
+                    f"calibrated span"
+                )
+
+        force_span = (force_low, force_high)
+        location_span = (location_low, location_high)
+        best = self._grid_search((phi1, phi2), force_span, location_span, 25)
+        for zoom in (0.15, 0.03):
+            force_radius = zoom * (force_high - force_low)
+            location_radius = zoom * (location_high - location_low)
+            force_span = (max(force_low, best[0] - force_radius),
+                          min(force_high, best[0] + force_radius))
+            location_span = (max(location_low, best[1] - location_radius),
+                             min(location_high, best[1] + location_radius))
+            best = self._grid_search((phi1, phi2), force_span,
+                                     location_span, 21)
+        return ForceLocationEstimate(force=best[0], location=best[1],
+                                     residual=best[2], touched=True)

@@ -1,0 +1,249 @@
+"""End-to-end wireless force reader.
+
+Glues the stack together the way the paper's reader runs (sections 3.3
+and 4.4): capture a baseline (untouched) stream, extract the two
+readout-tone harmonic vectors, then for every press capture a stream,
+conjugate against the baseline for the differential phases, and invert
+the calibrated sensor model.
+
+The tag's clock is a separate unsynchronized device (section 4.4), so
+its readout tones sit slightly off the nominal frequencies and their
+phases drift slowly.  The baseline capture therefore spans several
+phase groups and fits a per-tone drift rate, which is de-rotated out of
+every subsequent capture; for press protocols with an untouched gap
+before each press, :meth:`WiForceReader.read` can also re-baseline
+immediately before the press (the paper's before/after differential).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.calibration import SensorModel
+from repro.core.estimator import ForceLocationEstimate, ForceLocationEstimator
+from repro.core.harmonics import (
+    HarmonicExtractor,
+    HarmonicMatrix,
+    integer_period_group_length,
+)
+from repro.core.phase import differential_phase, phase_trajectory
+from repro.errors import ReaderError
+from repro.reader.sounder import FrameLevelSounder
+from repro.sensor.tag import TagState
+
+
+@dataclass(frozen=True)
+class PressReading:
+    """One complete wireless reading.
+
+    Attributes:
+        phi1 / phi2: Measured differential phases [rad].
+        estimate: Model inversion result.
+    """
+
+    phi1: float
+    phi2: float
+    estimate: ForceLocationEstimate
+
+    @property
+    def force(self) -> float:
+        """Estimated force [N]."""
+        return self.estimate.force
+
+    @property
+    def location(self) -> float:
+        """Estimated location [m]."""
+        return self.estimate.location
+
+
+class WiForceReader:
+    """Baseline-referenced wireless force reader with drift tracking.
+
+    Args:
+        sounder: Channel sounder with the deployed tag.
+        model: Calibrated sensor model (harmonic-domain recommended).
+        groups_per_capture: Phase groups averaged per reading.
+        baseline_groups: Phase groups in the baseline capture (longer =
+            better drift fit).
+        group_length: Snapshots per phase group; default picks the
+            smallest integer-period length for the tag's base clock.
+        extractor: Override the harmonic extractor entirely.
+    """
+
+    def __init__(self, sounder: FrameLevelSounder, model: SensorModel,
+                 groups_per_capture: int = 2,
+                 baseline_groups: int = 8,
+                 group_length: Optional[int] = None,
+                 extractor: Optional[HarmonicExtractor] = None):
+        if groups_per_capture < 1:
+            raise ReaderError(
+                f"groups per capture must be >= 1, got {groups_per_capture}"
+            )
+        if baseline_groups < 2:
+            raise ReaderError(
+                f"baseline needs >= 2 groups for the drift fit, got "
+                f"{baseline_groups}"
+            )
+        self.sounder = sounder
+        self.model = model
+        self.groups_per_capture = int(groups_per_capture)
+        self.baseline_groups = int(baseline_groups)
+        scheme = sounder.tag.clocking
+        if extractor is None:
+            if group_length is None:
+                group_length = integer_period_group_length(
+                    sounder.config.frame_period,
+                    scheme.clock_port1.frequency)
+            extractor = HarmonicExtractor(
+                tones=(scheme.readout_port1, scheme.readout_port2),
+                group_length=group_length,
+            )
+        self.extractor = extractor
+        self.estimator = ForceLocationEstimator(model)
+        self._clock = 0.0
+        self._baseline: Optional[Dict[float, np.ndarray]] = None
+        self._drift: Dict[float, float] = {}
+        self._phase_noise: Dict[float, float] = {}
+        self._reference_time = 0.0
+
+    @property
+    def frames_per_capture(self) -> int:
+        """Channel estimates recorded per press reading."""
+        return self.extractor.group_length * self.groups_per_capture
+
+    @property
+    def elapsed(self) -> float:
+        """Total sounding time consumed so far [s]."""
+        return self._clock
+
+    def _capture_matrices(self, state: TagState,
+                          groups: int) -> Dict[float, HarmonicMatrix]:
+        frames = self.extractor.group_length * groups
+        stream = self.sounder.capture(state, frames, start_time=self._clock)
+        self._clock += frames * self.sounder.config.frame_period
+        return self.extractor.extract(stream)
+
+    def _derotated_vector(self, matrix: HarmonicMatrix,
+                          tone: float) -> np.ndarray:
+        rate = self._drift.get(tone, 0.0)
+        rotation = np.exp(-1j * rate * (matrix.group_times
+                                        - self._reference_time))
+        return (matrix.values * rotation[:, None]).mean(axis=0)
+
+    def capture_baseline(self) -> None:
+        """Record the untouched reference and fit the clock drift.
+
+        Captures ``baseline_groups`` phase groups, fits a linear phase
+        slope per tone (the tag clock's frequency offset), and stores
+        the drift-corrected reference vectors.
+        """
+        matrices = self._capture_matrices(TagState(), self.baseline_groups)
+        drift: Dict[float, float] = {}
+        noise: Dict[float, float] = {}
+        reference_time = 0.0
+        for tone, matrix in matrices.items():
+            trajectory = phase_trajectory(matrix)
+            coefficients = np.polyfit(matrix.group_times, trajectory, 1)
+            drift[tone] = float(coefficients[0])
+            residual = trajectory - np.polyval(coefficients,
+                                               matrix.group_times)
+            noise[tone] = float(np.std(residual))
+            reference_time = float(matrix.group_times.mean())
+        self._drift = drift
+        self._phase_noise = noise
+        self._reference_time = reference_time
+        self._baseline = {
+            tone: self._derotated_vector(matrix, tone)
+            for tone, matrix in matrices.items()
+        }
+
+    @property
+    def has_baseline(self) -> bool:
+        """Whether a baseline has been captured."""
+        return self._baseline is not None
+
+    @property
+    def drift_rates(self) -> Dict[float, float]:
+        """Fitted per-tone clock drift rates [rad/s] (copy)."""
+        return dict(self._drift)
+
+    def capture_harmonics(self, state: TagState) -> Dict[float, np.ndarray]:
+        """One capture's drift-corrected harmonic vectors per tone."""
+        matrices = self._capture_matrices(state, self.groups_per_capture)
+        return {tone: self._derotated_vector(matrix, tone)
+                for tone, matrix in matrices.items()}
+
+    def read(self, state: TagState,
+             location_hint: Optional[float] = None,
+             rebaseline: bool = False) -> PressReading:
+        """Read the sensor once under ``state``.
+
+        Args:
+            state: The press applied during the capture.
+            location_hint: Optional prior location [m].
+            rebaseline: Capture a fresh untouched reference immediately
+                before the press (the paper's before/after protocol;
+                use when the sensor is known untouched between reads).
+
+        Raises:
+            ReaderError: No baseline available.
+        """
+        if rebaseline or self._baseline is None:
+            self.capture_baseline()
+        assert self._baseline is not None
+        harmonics = self.capture_harmonics(state)
+        tone1 = self.extractor.tones[0]
+        tone2 = self.extractor.tones[1]
+        phi1 = differential_phase(self._baseline[tone1], harmonics[tone1])
+        phi2 = differential_phase(self._baseline[tone2], harmonics[tone2])
+        estimate = self.estimator.invert(phi1, phi2,
+                                         location_hint=location_hint)
+        return PressReading(phi1=phi1, phi2=phi2, estimate=estimate)
+
+    @property
+    def baseline_phase_noise(self) -> Dict[float, float]:
+        """Per-tone group-phase noise [rad] measured during baseline."""
+        return dict(self._phase_noise)
+
+    def measured_phase_std(self) -> float:
+        """Per-reading phase noise [rad] for error-bar propagation.
+
+        The baseline's per-group scatter, averaged across tones and
+        reduced by the groups averaged per reading.
+        """
+        if not self._phase_noise:
+            raise ReaderError("capture_baseline() must run first")
+        per_group = float(np.mean(list(self._phase_noise.values())))
+        return per_group / np.sqrt(self.groups_per_capture)
+
+    def read_with_uncertainty(self, state: TagState,
+                              location_hint: Optional[float] = None,
+                              rebaseline: bool = False):
+        """Read the sensor and attach propagated error bars.
+
+        Returns:
+            (PressReading, ReadingUncertainty or None) — the
+            uncertainty is ``None`` for no-touch readings.
+        """
+        from repro.core.uncertainty import reading_uncertainty
+
+        reading = self.read(state, location_hint=location_hint,
+                            rebaseline=rebaseline)
+        if not reading.estimate.touched:
+            return reading, None
+        bars = reading_uncertainty(self.model, reading.estimate,
+                                   self.measured_phase_std())
+        return reading, bars
+
+    def read_sequence(self, states: List[TagState]) -> List[PressReading]:
+        """Read a timeline of press states (e.g. a fingertip profile).
+
+        The baseline is captured once up front; drift correction keeps
+        the reference valid across the sequence.
+        """
+        if self._baseline is None:
+            self.capture_baseline()
+        return [self.read(state) for state in states]

@@ -1,0 +1,184 @@
+"""Streaming force tracking: continuous (force, location) over time.
+
+The per-press :class:`repro.core.pipeline.WiForceReader` answers "what
+is the press right now"; this module answers the paper's Fig. 17b view
+— a *force-versus-time profile* tracked group by group while a user
+interacts with the sensor.  It consumes one long channel-estimate
+stream, applies the paper's consecutive-group conjugate-multiply
+(Eqns. 4-5) to build per-tone phase trajectories, detects touch onsets
+and releases, and inverts the sensor model for every group where the
+sensor is touched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.calibration import SensorModel
+from repro.core.estimator import ForceLocationEstimator
+from repro.core.harmonics import HarmonicExtractor
+from repro.core.phase import differential_phase
+from repro.errors import EstimationError, ReaderError
+from repro.reader.sounder import ChannelEstimateStream
+
+
+@dataclass(frozen=True)
+class TrackedSample:
+    """One group's tracking output.
+
+    Attributes:
+        time: Group mid-time [s].
+        phi1 / phi2: Phases relative to the untouched reference [rad].
+        touched: Whether the sensor is classified as touched.
+        force: Estimated force [N] (0 when untouched).
+        location: Estimated location [m] (0 when untouched).
+    """
+
+    time: float
+    phi1: float
+    phi2: float
+    touched: bool
+    force: float
+    location: float
+
+
+@dataclass(frozen=True)
+class TouchEvent:
+    """A detected touch interval.
+
+    Attributes:
+        onset: Touch start time [s].
+        release: Touch end time [s] (stream end if still touched).
+        peak_force: Largest estimated force during the touch [N].
+        mean_location: Force-weighted mean location [m].
+    """
+
+    onset: float
+    release: float
+    peak_force: float
+    mean_location: float
+
+
+class StreamingTracker:
+    """Group-by-group tracker over one continuous capture.
+
+    The first ``baseline_groups`` groups must be untouched: they set
+    the phase reference and fit the tag clock's drift, which is then
+    de-rotated from the whole stream.
+
+    Args:
+        model: Calibrated sensor model.
+        extractor: Harmonic extractor (tones + group length).
+        baseline_groups: Leading untouched groups for the reference.
+        touch_threshold_deg: Phase departure that counts as a touch.
+    """
+
+    def __init__(self, model: SensorModel, extractor: HarmonicExtractor,
+                 baseline_groups: int = 4,
+                 touch_threshold_deg: float = 8.0):
+        if baseline_groups < 2:
+            raise ReaderError(
+                f"need >= 2 baseline groups, got {baseline_groups}"
+            )
+        if len(extractor.tones) < 2:
+            raise ReaderError("the tracker needs both readout tones")
+        self.model = model
+        self.extractor = extractor
+        self.baseline_groups = int(baseline_groups)
+        self.touch_threshold = np.radians(touch_threshold_deg)
+        self.estimator = ForceLocationEstimator(
+            model, touch_threshold_deg=touch_threshold_deg)
+
+    def process(self, stream: ChannelEstimateStream) -> List[TrackedSample]:
+        """Track the whole stream; returns one sample per phase group."""
+        matrices = self.extractor.extract(stream)
+        tone1, tone2 = self.extractor.tones[0], self.extractor.tones[1]
+        groups = matrices[tone1].groups
+        if groups <= self.baseline_groups:
+            raise ReaderError(
+                f"stream has {groups} groups; need more than the "
+                f"{self.baseline_groups} baseline groups"
+            )
+        times = matrices[tone1].group_times
+
+        references = {}
+        drifts = {}
+        for tone, matrix in matrices.items():
+            head = matrix.values[:self.baseline_groups]
+            head_times = times[:self.baseline_groups]
+            phases = np.zeros(self.baseline_groups)
+            for g in range(1, self.baseline_groups):
+                phases[g] = phases[g - 1] + differential_phase(
+                    head[g - 1], head[g])
+            drift = float(np.polyfit(head_times, phases, 1)[0])
+            rotation = np.exp(-1j * drift * (head_times - head_times[0]))
+            references[tone] = (head * rotation[:, None]).mean(axis=0)
+            drifts[tone] = drift
+
+        samples: List[TrackedSample] = []
+        for g in range(groups):
+            phis = []
+            for tone in (tone1, tone2):
+                matrix = matrices[tone]
+                rotation = np.exp(-1j * drifts[tone]
+                                  * (times[g] - times[0]))
+                vector = matrix.values[g] * rotation
+                phis.append(differential_phase(references[tone], vector))
+            phi1, phi2 = phis
+            touched = (abs(phi1) > self.touch_threshold
+                       or abs(phi2) > self.touch_threshold)
+            if touched:
+                try:
+                    estimate = self.estimator.invert(phi1, phi2)
+                    force = estimate.force
+                    location = estimate.location
+                    touched = estimate.touched
+                except EstimationError:
+                    force, location, touched = 0.0, 0.0, False
+            else:
+                force, location = 0.0, 0.0
+            samples.append(TrackedSample(
+                time=float(times[g]), phi1=float(phi1), phi2=float(phi2),
+                touched=touched, force=force, location=location))
+        return samples
+
+    @staticmethod
+    def touch_events(samples: List[TrackedSample],
+                     min_groups: int = 1) -> List[TouchEvent]:
+        """Segment a tracked stream into touch events.
+
+        Args:
+            samples: Output of :meth:`process`.
+            min_groups: Minimum touched groups for a valid event
+                (debounce).
+        """
+        events: List[TouchEvent] = []
+        current: Optional[List[TrackedSample]] = None
+        for sample in samples:
+            if sample.touched:
+                if current is None:
+                    current = []
+                current.append(sample)
+            elif current is not None:
+                if len(current) >= min_groups:
+                    events.append(StreamingTracker._event_from(current))
+                current = None
+        if current is not None and len(current) >= min_groups:
+            events.append(StreamingTracker._event_from(current))
+        return events
+
+    @staticmethod
+    def _event_from(samples: List[TrackedSample]) -> TouchEvent:
+        forces = np.array([s.force for s in samples])
+        locations = np.array([s.location for s in samples])
+        weights = forces / forces.sum() if forces.sum() > 0 else None
+        mean_location = float(np.average(locations, weights=weights))
+        return TouchEvent(
+            onset=samples[0].time,
+            release=samples[-1].time,
+            peak_force=float(forces.max()),
+            mean_location=mean_location,
+        )

@@ -1,0 +1,148 @@
+"""2-D continuum extension (paper section 7, future work).
+
+The paper proposes covering a surface with several WiForce strips,
+each clocked at a different base frequency so each lands in its own
+Doppler bins.  A press between strips is interpolated from the force
+each neighbouring strip picks up.  This module implements that
+extension: sensor placements on a plane, per-strip readers, and a 2-D
+(x, y, force) estimate combining the per-strip readings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.pipeline import PressReading, WiForceReader
+from repro.errors import ConfigurationError, EstimationError
+from repro.sensor.tag import TagState
+
+
+@dataclass(frozen=True)
+class ArraySensorPlacement:
+    """One strip's pose in the 2-D plane.
+
+    The strip runs along the x axis at height ``offset_y``; a press at
+    plane coordinates (x, y) loads this strip with a share of the force
+    that decays with |y - offset_y|.
+
+    Attributes:
+        reader: The strip's wireless reader (own clocks, own model).
+        offset_y: Strip centre-line y coordinate [m].
+    """
+
+    reader: WiForceReader
+    offset_y: float
+
+
+@dataclass(frozen=True)
+class PlanarEstimate:
+    """A 2-D press estimate.
+
+    Attributes:
+        force: Total estimated force [N].
+        x: Along-strip coordinate [m].
+        y: Across-strip coordinate [m].
+        per_strip: The contributing per-strip readings.
+    """
+
+    force: float
+    x: float
+    y: float
+    per_strip: Tuple[PressReading, ...]
+
+
+class TwoDimensionalArray:
+    """Several parallel strips covering a 2-D surface.
+
+    Args:
+        placements: Strip placements, ascending ``offset_y``.
+        coupling_width: Lateral length scale [m] over which a press
+            shares force with a neighbouring strip (soft-layer
+            spreading; of the order of the beam thickness).
+    """
+
+    def __init__(self, placements: Sequence[ArraySensorPlacement],
+                 coupling_width: float = 8e-3):
+        self._placements = list(placements)
+        if len(self._placements) < 2:
+            raise ConfigurationError("a 2-D array needs at least 2 strips")
+        offsets = [p.offset_y for p in self._placements]
+        if any(b <= a for a, b in zip(offsets, offsets[1:])):
+            raise ConfigurationError("strip offsets must be ascending")
+        if coupling_width <= 0.0:
+            raise ConfigurationError(
+                f"coupling width must be positive, got {coupling_width}"
+            )
+        self.coupling_width = float(coupling_width)
+        base_clocks = set()
+        for placement in self._placements:
+            scheme = placement.reader.sounder.tag.clocking
+            key = (scheme.clock_port1.frequency,
+                   scheme.clock_port2.frequency)
+            if key in base_clocks:
+                raise ConfigurationError(
+                    "strips must use distinct clock frequencies so their "
+                    "Doppler bins do not collide"
+                )
+            base_clocks.add(key)
+
+    @property
+    def strips(self) -> List[ArraySensorPlacement]:
+        """The strip placements (copy)."""
+        return list(self._placements)
+
+    def force_share(self, y: float, offset_y: float) -> float:
+        """Fraction of a press at ``y`` carried by a strip at ``offset_y``.
+
+        Triangular sharing over ``coupling_width``, normalised later
+        across strips.
+        """
+        distance = abs(y - offset_y)
+        return max(0.0, 1.0 - distance / self.coupling_width)
+
+    def capture_baselines(self) -> None:
+        """Capture the untouched baseline on every strip."""
+        for placement in self._placements:
+            placement.reader.capture_baseline()
+
+    def press(self, force: float, x: float, y: float) -> PlanarEstimate:
+        """Apply a plane press and estimate (force, x, y) from readings.
+
+        Each strip is read under its shared portion of the force; the
+        across-strip coordinate is recovered from the force-share
+        centroid and the along-strip coordinate from the share-weighted
+        mean of the per-strip location estimates.
+        """
+        if force < 0.0:
+            raise EstimationError(f"force must be >= 0, got {force}")
+        shares = np.array([
+            self.force_share(y, p.offset_y) for p in self._placements])
+        if shares.sum() <= 0.0:
+            raise EstimationError(
+                f"press at y={y} m is outside every strip's coupling range"
+            )
+        shares = shares / shares.sum()
+        readings: List[PressReading] = []
+        for placement, share in zip(self._placements, shares):
+            state = TagState(force * float(share), x)
+            readings.append(placement.reader.read(state))
+        estimated_forces = np.array([r.force for r in readings])
+        total_force = float(estimated_forces.sum())
+        if total_force <= 0.0:
+            return PlanarEstimate(force=0.0, x=0.0, y=0.0,
+                                  per_strip=tuple(readings))
+        weights = estimated_forces / total_force
+        offsets = np.array([p.offset_y for p in self._placements])
+        y_hat = float(np.sum(weights * offsets))
+        touched = [(r, w) for r, w in zip(readings, weights)
+                   if r.estimate.touched]
+        if not touched:
+            return PlanarEstimate(force=0.0, x=0.0, y=y_hat,
+                                  per_strip=tuple(readings))
+        x_hat = float(sum(r.location * w for r, w in touched)
+                      / sum(w for _, w in touched))
+        return PlanarEstimate(force=total_force, x=x_hat, y=y_hat,
+                              per_strip=tuple(readings))

@@ -1,0 +1,61 @@
+"""Exception hierarchy for the WiForce reproduction.
+
+All library errors derive from :class:`WiForceError` so callers can catch
+one type at the API boundary.  The subtypes mirror the major subsystems:
+mechanics, RF, sensor, channel, reader and estimation.
+"""
+
+from __future__ import annotations
+
+
+class WiForceError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(WiForceError, ValueError):
+    """A component was constructed with physically invalid parameters."""
+
+
+class MechanicsError(WiForceError):
+    """Beam/contact mechanics could not produce a valid solution."""
+
+
+class ContactSolverError(MechanicsError):
+    """The contact solver failed to converge."""
+
+
+class RFError(WiForceError):
+    """Invalid RF network operation (dimension mismatch, singular port)."""
+
+
+class SensorError(WiForceError):
+    """Sensor-level failure (force out of range, bad clocking scheme)."""
+
+
+class ClockingError(SensorError):
+    """The switch clocking scheme violates the separation constraints."""
+
+
+class ChannelError(WiForceError):
+    """Channel model failure (invalid path, non-physical layer stack)."""
+
+
+class ReaderError(WiForceError):
+    """Wireless reader failure (sounding, synchronization, front end)."""
+
+
+class DynamicRangeError(ReaderError):
+    """Backscatter signal fell below the receiver's dynamic-range floor.
+
+    Raised by the SDR front-end model when the direct-path signal is so
+    much stronger than the backscatter reflection that the quantizer
+    cannot represent both (paper section 5.2).
+    """
+
+
+class CalibrationError(WiForceError):
+    """Calibration data is insufficient or inconsistent."""
+
+
+class EstimationError(WiForceError):
+    """Force/location estimation failed (no sensor signal found)."""

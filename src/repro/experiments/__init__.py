@@ -1,0 +1,37 @@
+"""Experiment harness: one runner per paper figure/table.
+
+Each runner builds its scenario from the library's public API, executes
+the paper's protocol, and returns a structured result the benchmarks
+print and the tests assert on.  See DESIGN.md for the experiment
+index mapping figures/tables to runners.
+"""
+
+from repro.experiments.metrics import (
+    empirical_cdf,
+    median_absolute_error,
+    percentile_absolute_error,
+)
+from repro.experiments.scenarios import (
+    default_transducer,
+    fast_transducer,
+    thin_trace_transducer,
+    build_wireless_scenario,
+)
+from repro.experiments.figures import ascii_cdf, ascii_histogram, ascii_plot
+from repro.experiments import montecarlo, runners, sweeps
+
+__all__ = [
+    "empirical_cdf",
+    "median_absolute_error",
+    "percentile_absolute_error",
+    "default_transducer",
+    "fast_transducer",
+    "thin_trace_transducer",
+    "build_wireless_scenario",
+    "ascii_cdf",
+    "ascii_histogram",
+    "ascii_plot",
+    "montecarlo",
+    "runners",
+    "sweeps",
+]

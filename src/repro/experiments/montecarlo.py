@@ -1,0 +1,168 @@
+"""Monte-Carlo campaigns: robustness across environments and units.
+
+The paper evaluates "in different indoor environments" (section 5);
+these campaigns quantify that: re-run the accuracy protocol across many
+random multipath draws, and separately across fabricated sensor units
+(calibration-transfer study), reporting the distribution of medians.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.calibration import calibrate_harmonic_observable
+from repro.core.estimator import ForceLocationEstimator
+from repro.core.pipeline import WiForceReader
+from repro.channel.multipath import indoor_channel
+from repro.channel.propagation import BackscatterLink
+from repro.experiments.metrics import median_absolute_error
+from repro.experiments.scenarios import (
+    build_wireless_scenario,
+    calibrated_model,
+    fast_transducer,
+)
+from repro.mechanics.indenter import GroundTruthRig
+from repro.reader.sounder import FrameLevelSounder
+from repro.reader.waveform import OFDMSounderConfig
+from repro.sensor.fabrication import FabricationTolerances, perturbed_design
+from repro.sensor.tag import TagState, WiForceTag
+from repro.sensor.transduction import ForceTransducer
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """Medians per trial of a Monte-Carlo campaign.
+
+    Attributes:
+        label: What varied across trials.
+        force_medians: Median |force error| per trial [N].
+        location_medians: Median |location error| per trial [m].
+    """
+
+    label: str
+    force_medians: np.ndarray
+    location_medians: np.ndarray
+
+    @property
+    def worst_force_median(self) -> float:
+        """Worst trial's force median [N]."""
+        return float(self.force_medians.max())
+
+    @property
+    def worst_location_median(self) -> float:
+        """Worst trial's location median [m]."""
+        return float(self.location_medians.max())
+
+
+def _protocol(reader: WiForceReader,
+              rng: np.random.Generator) -> Tuple[float, float]:
+    rig = GroundTruthRig(rng=rng)
+    force_errors = []
+    location_errors = []
+    for location in (0.025, 0.040, 0.058):
+        for force in (1.5, 4.0, 7.0):
+            press = rig.press(force, location)
+            reading = reader.read(
+                TagState(press.applied_force, press.applied_location),
+                rebaseline=True)
+            force_errors.append(reading.force - press.measured_force)
+            location_errors.append(reading.location
+                                   - press.commanded_location)
+    return (median_absolute_error(force_errors),
+            median_absolute_error(location_errors))
+
+
+def environment_campaign(trials: int = 8, carrier: float = 900e6,
+                         fast: bool = True, seed: int = 101
+                         ) -> CampaignResult:
+    """Accuracy across random indoor environments (clutter draws)."""
+    force_medians = []
+    location_medians = []
+    for trial in range(trials):
+        rng = np.random.default_rng(seed + trial)
+        reader = build_wireless_scenario(carrier, seed=seed + trial,
+                                         fast=fast)
+        force, location = _protocol(reader, rng)
+        force_medians.append(force)
+        location_medians.append(location)
+    return CampaignResult(
+        label="environment",
+        force_medians=np.array(force_medians),
+        location_medians=np.array(location_medians),
+    )
+
+
+def calibration_transfer_campaign(
+    units: int = 4, carrier: float = 900e6, seed: int = 211,
+    tolerances: FabricationTolerances = FabricationTolerances(),
+) -> CampaignResult:
+    """Read *toleranced* units with the *nominal* unit's calibration.
+
+    Each trial fabricates a unit with manufacturing deviations, deploys
+    it, and inverts its wireless phases with the nominal model — the
+    zero-per-unit-calibration scenario.  The residual error quantifies
+    how much per-unit trimming buys.
+    """
+    nominal_model = calibrated_model(carrier, fast=True)
+    force_medians = []
+    location_medians = []
+    for unit in range(units):
+        rng = np.random.default_rng(seed + unit)
+        design = perturbed_design(tolerances=tolerances, rng=rng)
+        transducer = ForceTransducer(design, force_points=16,
+                                     location_points=17)
+        tag = WiForceTag(transducer, clock_offset_ppm=20.0)
+        config = OFDMSounderConfig(carrier_frequency=carrier)
+        sounder = FrameLevelSounder(config, tag, BackscatterLink(),
+                                    indoor_channel(carrier, rng=rng),
+                                    rng=rng)
+        reader = WiForceReader(sounder, nominal_model)
+        force, location = _protocol(reader, rng)
+        force_medians.append(force)
+        location_medians.append(location)
+    return CampaignResult(
+        label="calibration-transfer",
+        force_medians=np.array(force_medians),
+        location_medians=np.array(location_medians),
+    )
+
+
+def per_unit_calibration_campaign(
+    units: int = 4, carrier: float = 900e6, seed: int = 211,
+    tolerances: FabricationTolerances = FabricationTolerances(),
+) -> CampaignResult:
+    """The same toleranced units, each with its own calibration.
+
+    The reference point for the transfer study: how much of the
+    transfer error disappears when every unit is trimmed individually.
+    Uses the same seeds as :func:`calibration_transfer_campaign` so the
+    two are unit-for-unit comparable.
+    """
+    force_medians = []
+    location_medians = []
+    for unit in range(units):
+        rng = np.random.default_rng(seed + unit)
+        design = perturbed_design(tolerances=tolerances, rng=rng)
+        transducer = ForceTransducer(design, force_points=16,
+                                     location_points=17)
+        tag = WiForceTag(transducer, clock_offset_ppm=20.0)
+        model = calibrate_harmonic_observable(
+            tag, carrier, (0.020, 0.030, 0.040, 0.050, 0.060),
+            np.linspace(0.5, 8.0, 12))
+        config = OFDMSounderConfig(carrier_frequency=carrier)
+        sounder = FrameLevelSounder(config, tag, BackscatterLink(),
+                                    indoor_channel(carrier, rng=rng),
+                                    rng=rng)
+        reader = WiForceReader(sounder, model)
+        reader.estimator = ForceLocationEstimator(model)
+        force, location = _protocol(reader, rng)
+        force_medians.append(force)
+        location_medians.append(location)
+    return CampaignResult(
+        label="per-unit-calibration",
+        force_medians=np.array(force_medians),
+        location_medians=np.array(location_medians),
+    )

@@ -1,0 +1,99 @@
+"""Shared scenario builders with caching.
+
+Building a :class:`ForceTransducer` solves the contact problem over a
+(force, location) grid — a couple of seconds of work that every
+experiment needs.  The builders here memoise the standard transducers
+so the test suite and the benchmarks pay that cost once per process.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Optional
+
+import numpy as np
+
+from repro.channel.multipath import MultipathChannel, indoor_channel
+from repro.channel.propagation import BackscatterLink
+from repro.core.calibration import SensorModel, calibrate_harmonic_observable
+from repro.core.pipeline import WiForceReader
+from repro.reader.sounder import FrameLevelSounder
+from repro.reader.waveform import OFDMSounderConfig
+from repro.sensor.geometry import default_sensor_design, thin_trace_design
+from repro.sensor.tag import WiForceTag
+from repro.sensor.transduction import ForceTransducer
+
+#: The paper's calibration locations (section 4.2) [m].
+CALIBRATION_LOCATIONS = (0.020, 0.030, 0.040, 0.050, 0.060)
+
+#: Wireless-evaluation press locations (section 5.1) [m].
+EVALUATION_LOCATIONS = (0.020, 0.040, 0.055, 0.060)
+
+
+@lru_cache(maxsize=1)
+def default_transducer() -> ForceTransducer:
+    """The paper-accurate transducer (full contact-map resolution)."""
+    return ForceTransducer(default_sensor_design())
+
+
+@lru_cache(maxsize=1)
+def fast_transducer() -> ForceTransducer:
+    """Reduced-resolution transducer for tests (builds in ~2 s)."""
+    return ForceTransducer(default_sensor_design(), force_points=20,
+                           location_points=25)
+
+
+@lru_cache(maxsize=1)
+def thin_trace_transducer() -> ForceTransducer:
+    """Bare-trace sensor for the Fig. 4 transduction ablation."""
+    return ForceTransducer(thin_trace_design(), force_points=20,
+                           location_points=25)
+
+
+@lru_cache(maxsize=4)
+def calibrated_model(carrier_frequency: float,
+                     fast: bool = False) -> SensorModel:
+    """Harmonic-domain calibration at the paper's five locations."""
+    transducer = fast_transducer() if fast else default_transducer()
+    tag = WiForceTag(transducer)
+    forces = np.linspace(0.5, 8.0, 16)
+    return calibrate_harmonic_observable(tag, carrier_frequency,
+                                         CALIBRATION_LOCATIONS, forces)
+
+
+def build_wireless_scenario(carrier_frequency: float = 900e6,
+                            link: Optional[BackscatterLink] = None,
+                            clutter: Optional[MultipathChannel] = None,
+                            seed: Optional[int] = None,
+                            fast: bool = False,
+                            groups_per_capture: int = 2,
+                            tx_power_dbm: float = 10.0,
+                            clock_offset_ppm: float = 20.0) -> WiForceReader:
+    """A ready-to-read deployment (Fig. 12 geometry by default).
+
+    Args:
+        carrier_frequency: 900 MHz or 2.4 GHz.
+        link: Deployment geometry; defaults to the paper's 1 m TX-RX
+            with the sensor 50 cm from each.
+        clutter: Environment multipath; defaults to random indoor
+            clutter drawn from ``seed``.
+        seed: Seed for clutter and receiver noise.
+        fast: Use the reduced-resolution transducer (tests).
+        groups_per_capture: Phase groups averaged per reading.
+        tx_power_dbm: Reader transmit power.
+        clock_offset_ppm: Tag crystal frequency error (unsynchronized
+            Arduino clock, section 4.4).
+    """
+    rng = np.random.default_rng(seed)
+    transducer = fast_transducer() if fast else default_transducer()
+    tag = WiForceTag(transducer, clock_offset_ppm=clock_offset_ppm)
+    if link is None:
+        link = BackscatterLink(tx_to_tag=0.5, tag_to_rx=0.5, tx_to_rx=1.0)
+    if clutter is None:
+        clutter = indoor_channel(carrier_frequency, rng=rng)
+    config = OFDMSounderConfig(carrier_frequency=carrier_frequency,
+                               tx_power_dbm=tx_power_dbm)
+    sounder = FrameLevelSounder(config, tag, link, clutter, rng=rng)
+    model = calibrated_model(carrier_frequency, fast=fast)
+    return WiForceReader(sounder, model,
+                         groups_per_capture=groups_per_capture)

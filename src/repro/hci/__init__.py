@@ -1,0 +1,12 @@
+"""HCI application layer: gestures on top of force tracking.
+
+The paper's UI motivation (sections 1 and 5.3): with continuous force
+*and* location, a passive strip becomes a rich input device.  This
+package classifies tracked touch interactions into the gesture
+vocabulary that motivates the paper — taps, holds, force-steps and
+slides — turning the sensing stack into an input pipeline.
+"""
+
+from repro.hci.gestures import Gesture, GestureClassifier, GestureKind
+
+__all__ = ["Gesture", "GestureClassifier", "GestureKind"]

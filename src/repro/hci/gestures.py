@@ -1,0 +1,141 @@
+"""Gesture classification over tracked touch interactions.
+
+Works on the :class:`repro.core.tracking.StreamingTracker` output: each
+touch event's force and location trajectories are reduced to a gesture:
+
+* ``TAP`` — brief contact, no sustained force.
+* ``HOLD`` — sustained contact with a stable force level.
+* ``PRESS_RAMP`` — sustained contact with monotonically growing force
+  (the paper's analog-control gesture, e.g. volume).
+* ``SLIDE`` — the contact location travels along the strip.
+
+The thresholds default to fingertip-scale interactions on the 80 mm
+prototype and are all configurable.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.core.tracking import TrackedSample
+from repro.errors import ConfigurationError
+
+
+class GestureKind(enum.Enum):
+    """Recognised gesture classes."""
+
+    TAP = "tap"
+    HOLD = "hold"
+    PRESS_RAMP = "press-ramp"
+    SLIDE = "slide"
+
+
+@dataclass(frozen=True)
+class Gesture:
+    """One classified interaction.
+
+    Attributes:
+        kind: The gesture class.
+        onset / release: Interaction span [s].
+        start_location / end_location: Contact travel [m].
+        mean_force / peak_force: Force statistics [N].
+    """
+
+    kind: GestureKind
+    onset: float
+    release: float
+    start_location: float
+    end_location: float
+    mean_force: float
+    peak_force: float
+
+    @property
+    def duration(self) -> float:
+        """Interaction length [s]."""
+        return self.release - self.onset
+
+    @property
+    def travel(self) -> float:
+        """Signed location travel [m]."""
+        return self.end_location - self.start_location
+
+
+class GestureClassifier:
+    """Rule-based gesture classification of tracked samples.
+
+    Args:
+        tap_max_duration: Longest contact still counted as a tap [s].
+        slide_min_travel: Location travel that makes a slide [m].
+        ramp_min_slope: Force slope that makes a press-ramp [N/s].
+        min_samples: Shortest classified interaction (debounce).
+    """
+
+    def __init__(self, tap_max_duration: float = 0.15,
+                 slide_min_travel: float = 8e-3,
+                 ramp_min_slope: float = 2.0,
+                 min_samples: int = 2):
+        if tap_max_duration <= 0.0:
+            raise ConfigurationError("tap duration must be positive")
+        if slide_min_travel <= 0.0:
+            raise ConfigurationError("slide travel must be positive")
+        if ramp_min_slope <= 0.0:
+            raise ConfigurationError("ramp slope must be positive")
+        if min_samples < 2:
+            raise ConfigurationError(
+                f"min samples must be >= 2, got {min_samples}"
+            )
+        self.tap_max_duration = float(tap_max_duration)
+        self.slide_min_travel = float(slide_min_travel)
+        self.ramp_min_slope = float(ramp_min_slope)
+        self.min_samples = int(min_samples)
+
+    def _segment(self, samples: Sequence[TrackedSample]
+                 ) -> List[List[TrackedSample]]:
+        segments: List[List[TrackedSample]] = []
+        current: List[TrackedSample] = []
+        for sample in samples:
+            if sample.touched:
+                current.append(sample)
+            elif current:
+                segments.append(current)
+                current = []
+        if current:
+            segments.append(current)
+        return [segment for segment in segments
+                if len(segment) >= self.min_samples]
+
+    def _classify_segment(self, segment: List[TrackedSample]) -> Gesture:
+        times = np.array([sample.time for sample in segment])
+        forces = np.array([sample.force for sample in segment])
+        locations = np.array([sample.location for sample in segment])
+        duration = float(times[-1] - times[0])
+        travel = float(locations[-1] - locations[0])
+        slope = float(np.polyfit(times, forces, 1)[0]) if duration > 0 \
+            else 0.0
+
+        if abs(travel) >= self.slide_min_travel:
+            kind = GestureKind.SLIDE
+        elif duration <= self.tap_max_duration:
+            kind = GestureKind.TAP
+        elif slope >= self.ramp_min_slope:
+            kind = GestureKind.PRESS_RAMP
+        else:
+            kind = GestureKind.HOLD
+        return Gesture(
+            kind=kind,
+            onset=float(times[0]),
+            release=float(times[-1]),
+            start_location=float(locations[0]),
+            end_location=float(locations[-1]),
+            mean_force=float(forces.mean()),
+            peak_force=float(forces.max()),
+        )
+
+    def classify(self, samples: Sequence[TrackedSample]) -> List[Gesture]:
+        """Segment and classify a tracked stream into gestures."""
+        return [self._classify_segment(segment)
+                for segment in self._segment(samples)]

@@ -1,0 +1,186 @@
+"""Euler-Bernoulli beam models for the sensor's top structure.
+
+The sensor's top structure is a composite beam: a thin copper signal
+trace bonded under a thick soft elastomer beam.  The composite bends
+under a contact force and its underside (the trace) closes the air gap
+to the ground trace.  This module provides section properties, the
+classical simply-supported point-load solution (used as an analytic
+cross-check of the finite-difference contact solver) and the force at
+which the trace first touches the ground.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.mechanics.materials import Material
+
+
+@dataclass(frozen=True)
+class BeamSection:
+    """One rectangular layer of a laminated beam cross-section.
+
+    Attributes:
+        material: Layer material.
+        width: Layer width [m] (transverse to the beam axis).
+        thickness: Layer thickness [m] (stacking direction).
+    """
+
+    material: Material
+    width: float
+    thickness: float
+
+    def __post_init__(self) -> None:
+        if self.width <= 0.0 or self.thickness <= 0.0:
+            raise ConfigurationError(
+                f"beam section dimensions must be positive, got "
+                f"width={self.width}, thickness={self.thickness}"
+            )
+
+    @property
+    def area(self) -> float:
+        """Cross-section area [m^2]."""
+        return self.width * self.thickness
+
+    @property
+    def self_inertia(self) -> float:
+        """Second moment of area about the layer's own centroid [m^4]."""
+        return self.width * self.thickness ** 3 / 12.0
+
+
+class CompositeBeam:
+    """Laminated (layered) beam with transformed-section bending stiffness.
+
+    Layers are stacked bottom-up in the order given.  The effective
+    bending stiffness EI is computed with the transformed-section method
+    about the modulus-weighted neutral axis, which is the standard way
+    to treat a metal trace bonded to an elastomer slab.
+    """
+
+    def __init__(self, layers: Iterable[BeamSection], length: float):
+        self._layers: List[BeamSection] = list(layers)
+        if not self._layers:
+            raise ConfigurationError("a composite beam needs at least one layer")
+        if length <= 0.0:
+            raise ConfigurationError(f"beam length must be positive, got {length}")
+        self._length = float(length)
+        self._bending_stiffness, self._neutral_axis = self._transformed_section()
+
+    def _transformed_section(self) -> Tuple[float, float]:
+        """Return (EI [N m^2], neutral axis height from the bottom [m])."""
+        heights = []
+        z = 0.0
+        for layer in self._layers:
+            heights.append((z, z + layer.thickness))
+            z += layer.thickness
+        weights = [
+            layer.material.youngs_modulus * layer.area for layer in self._layers
+        ]
+        centroids = [0.5 * (lo + hi) for lo, hi in heights]
+        neutral = sum(w * c for w, c in zip(weights, centroids)) / sum(weights)
+        stiffness = 0.0
+        for layer, (lo, hi) in zip(self._layers, heights):
+            centroid = 0.5 * (lo + hi)
+            stiffness += layer.material.youngs_modulus * (
+                layer.self_inertia + layer.area * (centroid - neutral) ** 2
+            )
+        return stiffness, neutral
+
+    @property
+    def layers(self) -> Tuple[BeamSection, ...]:
+        """The layer stack, bottom-up."""
+        return tuple(self._layers)
+
+    @property
+    def length(self) -> float:
+        """Beam span [m]."""
+        return self._length
+
+    @property
+    def bending_stiffness(self) -> float:
+        """Effective bending stiffness EI [N m^2]."""
+        return self._bending_stiffness
+
+    @property
+    def neutral_axis(self) -> float:
+        """Neutral-axis height from the bottom face [m]."""
+        return self._neutral_axis
+
+    @property
+    def total_thickness(self) -> float:
+        """Total laminate thickness [m]."""
+        return sum(layer.thickness for layer in self._layers)
+
+    @property
+    def mass_per_length(self) -> float:
+        """Mass per unit length [kg/m]."""
+        return sum(layer.material.density * layer.area for layer in self._layers)
+
+
+def simply_supported_deflection(
+    x: np.ndarray, load_position: float, force: float, length: float,
+    bending_stiffness: float,
+) -> np.ndarray:
+    """Deflection of a simply supported beam under a point load.
+
+    Classical Euler-Bernoulli solution; downward load gives positive
+    deflection values here (deflection towards the ground trace).
+
+    Args:
+        x: Positions along the beam [m], each in [0, length].
+        load_position: Point-load position a [m].
+        force: Load magnitude F [N] (positive = pressing down).
+        length: Beam span L [m].
+        bending_stiffness: EI [N m^2].
+
+    Returns:
+        Deflection w(x) [m], positive towards the gap.
+    """
+    if not 0.0 <= load_position <= length:
+        raise ConfigurationError(
+            f"load position {load_position} outside beam [0, {length}]"
+        )
+    if bending_stiffness <= 0.0:
+        raise ConfigurationError("bending stiffness must be positive")
+    x = np.asarray(x, dtype=float)
+    a = load_position
+    b = length - a
+    w = np.empty_like(x)
+    left = x <= a
+    xl = x[left]
+    w[left] = (
+        force * b * xl * (length ** 2 - b ** 2 - xl ** 2)
+        / (6.0 * length * bending_stiffness)
+    )
+    xr = x[~left]
+    # Mirror the standard solution for points right of the load.
+    xr_m = length - xr
+    w[~left] = (
+        force * a * xr_m * (length ** 2 - a ** 2 - xr_m ** 2)
+        / (6.0 * length * bending_stiffness)
+    )
+    return w
+
+
+def first_contact_force(
+    load_position: float, length: float, bending_stiffness: float, gap: float,
+) -> float:
+    """Force [N] at which the trace first touches the ground trace.
+
+    For a simply supported beam pressed at ``load_position`` the maximum
+    deflection occurs near the load; contact begins when it reaches the
+    air gap.  Solved from the analytic deflection profile.
+    """
+    if gap <= 0.0:
+        raise ConfigurationError(f"gap must be positive, got {gap}")
+    x = np.linspace(0.0, length, 2001)
+    unit = simply_supported_deflection(x, load_position, 1.0, length,
+                                       bending_stiffness)
+    peak = float(unit.max())
+    if peak <= 0.0:
+        raise ConfigurationError("degenerate beam: no deflection under load")
+    return gap / peak

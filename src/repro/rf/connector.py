@@ -1,0 +1,80 @@
+"""SMA connector parasitics.
+
+The paper's prototype interfaces the air microstrip to SMA connectors
+(Appendix: the ground trace is widened precisely to solder their legs).
+A real connector transition adds a small series inductance and shunt
+capacitance that degrade the measured S11 from the ideal line's -35 dB
+to the -10..-20 dB the paper's Fig. 10 shows.  Modelling it closes that
+gap and lets the design benches sweep connector quality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.rf.twoport import TwoPort, abcd_series, abcd_shunt, abcd_to_s, cascade
+
+
+@dataclass(frozen=True)
+class SMAConnector:
+    """Lumped model of one coax-to-microstrip transition.
+
+    Attributes:
+        name: Part identifier.
+        series_inductance: Transition inductance [H].
+        shunt_capacitance: Pad/fringing capacitance [F].
+    """
+
+    name: str = "sma-edge-launch"
+    series_inductance: float = 0.6e-9
+    shunt_capacitance: float = 0.18e-12
+
+    def __post_init__(self) -> None:
+        if self.series_inductance < 0.0 or self.shunt_capacitance < 0.0:
+            raise ConfigurationError(
+                "connector parasitics must be non-negative"
+            )
+
+    def abcd(self, frequency: np.ndarray) -> np.ndarray:
+        """ABCD matrices of the transition over a frequency grid.
+
+        L-C half-section: the series inductance faces the coax side,
+        the shunt capacitance loads the microstrip pad.
+        """
+        frequency = np.asarray(frequency, dtype=float)
+        omega = 2.0 * np.pi * frequency
+        series = abcd_series(1j * omega * self.series_inductance)
+        if self.shunt_capacitance == 0.0:
+            return series
+        shunt = abcd_shunt(1.0 / (1j * omega * self.shunt_capacitance))
+        return cascade(series, shunt)
+
+    def twoport(self, frequency: np.ndarray,
+                reference_impedance: float = 50.0) -> TwoPort:
+        """S-parameter block of the transition."""
+        frequency = np.asarray(frequency, dtype=float)
+        return TwoPort(frequency,
+                       abcd_to_s(self.abcd(frequency), reference_impedance),
+                       reference_impedance)
+
+
+#: A decent edge-launch SMA (paper-prototype class).
+SMA_EDGE_LAUNCH = SMAConnector()
+
+#: A sloppier hand-soldered transition, for the design-margin sweep.
+SMA_HAND_SOLDERED = SMAConnector(
+    name="sma-hand-soldered",
+    series_inductance=1.2e-9,
+    shunt_capacitance=0.35e-12,
+)
+
+
+def connectorized(network: TwoPort, connector: SMAConnector) -> TwoPort:
+    """Wrap a two-port with a connector transition on each port."""
+    transition = connector.twoport(network.frequency,
+                                   network.reference_impedance)
+    return transition.cascade_with(network).cascade_with(
+        transition.flipped())

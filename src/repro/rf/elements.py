@@ -1,0 +1,106 @@
+"""Composable RF elements for the sensor model.
+
+Builds the sensor's exact two-port from microstrip sections and shunt
+contact impedances: an untouched sensor is one line section (Fig. 10);
+a pressed sensor is line(0..p1) + contact shunt + line(p1..p2) +
+contact shunt + line(p2..L), which makes port 1's reflection collapse
+onto the first shorting point and port 2's onto the second — the
+transduction mechanism of paper section 3.1.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import RFError
+from repro.rf.microstrip import MicrostripLine
+from repro.rf.twoport import TwoPort, abcd_line, abcd_shunt, abcd_to_s, cascade
+
+#: Residual resistance of the pressed trace-to-trace contact [ohm].
+#: Small but non-zero: a perfect zero-ohm shunt would be numerically
+#: singular and is also physically optimistic for a pressed contact.
+DEFAULT_CONTACT_RESISTANCE = 0.2
+
+
+def line_twoport(line: MicrostripLine, frequency: np.ndarray,
+                 length: Optional[float] = None,
+                 reference_impedance: float = 50.0) -> TwoPort:
+    """Two-port of a microstrip section over a frequency grid.
+
+    Args:
+        line: Microstrip geometry (sets Z0, gamma).
+        frequency: Frequency grid [Hz].
+        length: Section length [m]; defaults to the full line length.
+        reference_impedance: Port reference [ohm].
+    """
+    frequency = np.asarray(frequency, dtype=float)
+    section = line.length if length is None else float(length)
+    if section < 0.0:
+        raise RFError(f"section length must be non-negative, got {section}")
+    abcd = abcd_line(line.characteristic_impedance,
+                     line.propagation_constant(frequency), section)
+    return TwoPort(frequency, abcd_to_s(abcd, reference_impedance),
+                   reference_impedance)
+
+
+def shorted_sensor_twoport(
+    line: MicrostripLine,
+    frequency: np.ndarray,
+    shorting_points: Optional[Tuple[float, float]],
+    contact_resistance: float = DEFAULT_CONTACT_RESISTANCE,
+    reference_impedance: float = 50.0,
+) -> TwoPort:
+    """Two-port of the sensor line with an optional contact region.
+
+    Args:
+        line: Sensor microstrip geometry.
+        frequency: Frequency grid [Hz].
+        shorting_points: (p1, p2) shorting positions [m] from port 1,
+            or ``None`` for an untouched sensor.
+        contact_resistance: Residual shunt resistance at each shorting
+            point [ohm].
+        reference_impedance: Port reference [ohm].
+
+    Returns:
+        The exact cascaded two-port.
+    """
+    frequency = np.asarray(frequency, dtype=float)
+    if shorting_points is None:
+        return line_twoport(line, frequency,
+                            reference_impedance=reference_impedance)
+    p1, p2 = shorting_points
+    if not 0.0 <= p1 <= p2 <= line.length:
+        raise RFError(
+            f"shorting points ({p1}, {p2}) must satisfy "
+            f"0 <= p1 <= p2 <= {line.length}"
+        )
+    if contact_resistance <= 0.0:
+        raise RFError(
+            f"contact resistance must be positive, got {contact_resistance}"
+        )
+    gamma = line.propagation_constant(frequency)
+    z0 = line.characteristic_impedance
+    shunt = abcd_shunt(np.full(frequency.shape, contact_resistance,
+                               dtype=complex))
+    blocks = [abcd_line(z0, gamma, p1), shunt]
+    if p2 > p1:
+        blocks.extend([abcd_line(z0, gamma, p2 - p1), shunt])
+    blocks.append(abcd_line(z0, gamma, line.length - p2))
+    return TwoPort(frequency, abcd_to_s(cascade(*blocks), reference_impedance),
+                   reference_impedance)
+
+
+def ideal_splitter_reflection(branch_a: np.ndarray,
+                              branch_b: np.ndarray) -> np.ndarray:
+    """Reflection at the common port of an ideal 3 dB splitter.
+
+    Each branch contributes through two 1/sqrt(2) passes, so the common
+    port sees the average of the branch reflections.  This is how the
+    tag merges its two switch branches onto the single antenna (paper
+    section 3.2).
+    """
+    branch_a = np.asarray(branch_a, dtype=complex)
+    branch_b = np.asarray(branch_b, dtype=complex)
+    return 0.5 * (branch_a + branch_b)

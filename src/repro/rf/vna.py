@@ -1,0 +1,133 @@
+"""Vector network analyzer simulator.
+
+The paper builds its sensor model from wired VNA measurements (section
+4.2, Table 1): 2-port sweeps of the sensor while the indenter applies
+known forces.  This VNA model measures any S-parameter source with
+realistic trace noise and an optional uncalibrated cable delay, and
+offers the usual logmag/phase trace formats.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.units import SPEED_OF_LIGHT
+
+#: A device under test: maps a frequency grid [Hz] to S-params (K, 2, 2).
+DeviceUnderTest = Callable[[np.ndarray], np.ndarray]
+
+
+@dataclass(frozen=True)
+class VNATrace:
+    """One measured S-parameter trace.
+
+    Attributes:
+        frequency: Sweep grid [Hz].
+        values: Complex S-parameter samples.
+    """
+
+    frequency: np.ndarray
+    values: np.ndarray
+
+    @property
+    def magnitude_db(self) -> np.ndarray:
+        """Trace magnitude [dB]."""
+        return 20.0 * np.log10(np.maximum(np.abs(self.values), 1e-300))
+
+    @property
+    def phase_deg(self) -> np.ndarray:
+        """Wrapped phase [deg]."""
+        return np.degrees(np.angle(self.values))
+
+    @property
+    def unwrapped_phase_deg(self) -> np.ndarray:
+        """Unwrapped phase [deg] across the sweep."""
+        return np.degrees(np.unwrap(np.angle(self.values)))
+
+    def group_delay(self) -> np.ndarray:
+        """Group delay [s] from the phase slope."""
+        phase = np.unwrap(np.angle(self.values))
+        return -np.gradient(phase, self.frequency) / (2.0 * np.pi)
+
+
+class VNA:
+    """Two-port VNA with trace noise and optional cable delay.
+
+    Attributes:
+        start_frequency: Sweep start [Hz].
+        stop_frequency: Sweep stop [Hz].
+        points: Number of sweep points.
+        trace_noise_std: Complex trace noise std-dev (linear units).
+        cable_length: Uncalibrated cable length [m] adding linear phase
+            to transmission/reflection terms (zero = fully calibrated).
+    """
+
+    def __init__(self, start_frequency: float = 10e6,
+                 stop_frequency: float = 3e9, points: int = 401,
+                 trace_noise_std: float = 1e-3,
+                 cable_length: float = 0.0,
+                 rng: Optional[np.random.Generator] = None):
+        if not 0.0 < start_frequency < stop_frequency:
+            raise ConfigurationError(
+                f"need 0 < start < stop, got {start_frequency}, "
+                f"{stop_frequency}"
+            )
+        if points < 2:
+            raise ConfigurationError(f"need at least 2 points, got {points}")
+        if trace_noise_std < 0.0:
+            raise ConfigurationError(
+                f"trace noise std must be non-negative, got {trace_noise_std}"
+            )
+        if cable_length < 0.0:
+            raise ConfigurationError(
+                f"cable length must be non-negative, got {cable_length}"
+            )
+        self.start_frequency = float(start_frequency)
+        self.stop_frequency = float(stop_frequency)
+        self.points = int(points)
+        self.trace_noise_std = float(trace_noise_std)
+        self.cable_length = float(cable_length)
+        self._rng = rng or np.random.default_rng()
+
+    @property
+    def frequency(self) -> np.ndarray:
+        """The sweep grid [Hz]."""
+        return np.linspace(self.start_frequency, self.stop_frequency,
+                           self.points)
+
+    def measure(self, device: DeviceUnderTest) -> np.ndarray:
+        """Sweep the DUT; returns noisy S-parameters (points, 2, 2)."""
+        frequency = self.frequency
+        s = np.array(device(frequency), dtype=complex)
+        if s.shape != (self.points, 2, 2):
+            raise ConfigurationError(
+                f"DUT returned shape {s.shape}, expected "
+                f"({self.points}, 2, 2)"
+            )
+        if self.cable_length > 0.0:
+            delay_phase = np.exp(
+                -2j * np.pi * frequency * self.cable_length / SPEED_OF_LIGHT)
+            s = s * delay_phase[:, None, None]
+        if self.trace_noise_std > 0.0:
+            noise = self._rng.normal(0.0, self.trace_noise_std,
+                                     s.shape + (2,))
+            s = s + noise[..., 0] + 1j * noise[..., 1]
+        return s
+
+    def trace(self, device: DeviceUnderTest, parameter: str) -> VNATrace:
+        """Measure one named trace ('s11', 's21', 's12' or 's22')."""
+        indices = {"s11": (0, 0), "s12": (0, 1), "s21": (1, 0),
+                   "s22": (1, 1)}
+        key = parameter.lower()
+        if key not in indices:
+            raise ConfigurationError(
+                f"unknown S-parameter {parameter!r}; choose from "
+                f"{sorted(indices)}"
+            )
+        i, j = indices[key]
+        s = self.measure(device)
+        return VNATrace(self.frequency, s[:, i, j])

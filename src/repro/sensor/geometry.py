@@ -1,0 +1,118 @@
+"""Complete sensor design: mechanical stack + RF line in one object.
+
+The paper's prototype (sections 4.1-4.3): 80 mm air-substrate
+microstrip (2.5 mm trace, 6 mm ground, 0.63 mm height) with a soft
+ecoflex beam on top, read out through two HMC544AE reflective switches
+clocked at 1 kHz / 2 kHz with 25% / 75% duty cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.mechanics.beam import BeamSection, CompositeBeam
+from repro.mechanics.contact import GapContactSolver, PressureKernel
+from repro.mechanics.materials import COPPER, ECOFLEX_0030, Material
+from repro.rf.microstrip import MicrostripLine
+from repro.rf.switch import HMC544AE, RFSwitch
+
+#: Effective Winkler foundation constant, as a fraction of the soft
+#: layer's E * width / thickness.  Tuned so the shorting-point dynamic
+#: range over the paper's 0-8 N span reproduces the phase-force curves
+#: of Fig. 5 / Table 1 (see DESIGN.md, known deviations).
+FOUNDATION_FRACTION = 0.024
+
+
+@dataclass
+class SensorDesign:
+    """Full mechanical + RF description of one WiForce sensor.
+
+    Attributes:
+        line: The microstrip geometry.
+        soft_material: Elastomer of the force-spreading beam.
+        soft_thickness: Elastomer beam thickness [m].
+        soft_width: Elastomer beam width [m].
+        trace_thickness: Copper trace thickness [m].
+        switch: RF switch used at both ends.
+        contact_resistance: Residual shorting-contact resistance [ohm].
+        grid_nodes: Contact-solver grid resolution.
+    """
+
+    line: MicrostripLine = field(default_factory=MicrostripLine)
+    soft_material: Material = ECOFLEX_0030
+    soft_thickness: float = 10e-3
+    soft_width: float = 10e-3
+    trace_thickness: float = 35e-6
+    switch: RFSwitch = HMC544AE
+    contact_resistance: float = 0.2
+    grid_nodes: int = 321
+
+    def __post_init__(self) -> None:
+        if self.soft_thickness <= 0.0 or self.soft_width <= 0.0:
+            raise ConfigurationError(
+                "soft beam dimensions must be positive, got thickness="
+                f"{self.soft_thickness}, width={self.soft_width}"
+            )
+        if self.trace_thickness <= 0.0:
+            raise ConfigurationError(
+                f"trace thickness must be positive, got {self.trace_thickness}"
+            )
+        if self.contact_resistance <= 0.0:
+            raise ConfigurationError(
+                f"contact resistance must be positive, got "
+                f"{self.contact_resistance}"
+            )
+
+    @property
+    def length(self) -> float:
+        """Sensor length [m]."""
+        return self.line.length
+
+    def composite_beam(self) -> CompositeBeam:
+        """The laminated top structure (trace under soft beam)."""
+        return CompositeBeam(
+            [
+                BeamSection(COPPER, width=self.line.width,
+                            thickness=self.trace_thickness),
+                BeamSection(self.soft_material, width=self.soft_width,
+                            thickness=self.soft_thickness),
+            ],
+            length=self.line.length,
+        )
+
+    def foundation_stiffness(self) -> float:
+        """Effective Winkler constant [N/m^2] of the soft layer."""
+        return (FOUNDATION_FRACTION * self.soft_material.youngs_modulus
+                * self.soft_width / self.soft_thickness)
+
+    def pressure_kernel(self) -> PressureKernel:
+        """Load-spreading kernel of the soft layer."""
+        return PressureKernel.for_soft_layer(self.soft_thickness)
+
+    def contact_solver(self, nodes: Optional[int] = None) -> GapContactSolver:
+        """Build the gap-contact solver for this design."""
+        return GapContactSolver(
+            beam=self.composite_beam(),
+            gap=self.line.height,
+            kernel=self.pressure_kernel(),
+            nodes=nodes or self.grid_nodes,
+            foundation_stiffness=self.foundation_stiffness(),
+        )
+
+
+def default_sensor_design() -> SensorDesign:
+    """The paper's prototype sensor (sections 4.1-4.3)."""
+    return SensorDesign()
+
+
+def thin_trace_design() -> SensorDesign:
+    """Bare thin-trace sensor for the Fig. 4 ablation.
+
+    No soft beam: the pressure patch is point-like and the contact
+    point barely moves with force, so the phase-force response is flat
+    (the paper's motivation for the soft beam).
+    """
+    design = SensorDesign(soft_thickness=0.2e-3, soft_width=2.5e-3)
+    return design

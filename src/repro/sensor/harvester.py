@@ -1,0 +1,161 @@
+"""RF energy harvesting budget: can the tag run battery-free?
+
+Paper section 6: "the power requirements are so frugal that it can
+achieve the elusive goal of battery-free haptic feedback, by meeting
+the power requirements via energy harvesting".  This module computes
+that feasibility: incident RF power at the tag from the reader's own
+excitation (Friis), a realistic rectifier efficiency curve versus input
+power, and the break-even range where harvested power covers the tag's
+budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.channel.propagation import free_space_path_gain
+from repro.errors import ConfigurationError
+from repro.sensor.power import PowerBudget
+from repro.units import dbm_to_watts, watts_to_dbm
+
+
+@dataclass(frozen=True)
+class Rectifier:
+    """RF-to-DC rectifier with a power-dependent efficiency curve.
+
+    Efficiency rises from near zero below the diode turn-on region to a
+    peak at moderate input power — the standard RF-harvester shape.
+
+    Attributes:
+        peak_efficiency: Best-case conversion efficiency (0-1).
+        half_efficiency_dbm: Input power [dBm] at half the peak.
+        slope_db: Width of the turn-on transition [dB].
+    """
+
+    peak_efficiency: float = 0.45
+    half_efficiency_dbm: float = -12.0
+    slope_db: float = 6.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.peak_efficiency <= 1.0:
+            raise ConfigurationError(
+                f"peak efficiency must be in (0, 1], got "
+                f"{self.peak_efficiency}"
+            )
+        if self.slope_db <= 0.0:
+            raise ConfigurationError(
+                f"slope must be positive dB, got {self.slope_db}"
+            )
+
+    def efficiency(self, input_power: float) -> float:
+        """Conversion efficiency at ``input_power`` [W]."""
+        if input_power < 0.0:
+            raise ConfigurationError(
+                f"input power must be >= 0, got {input_power}"
+            )
+        if input_power == 0.0:
+            return 0.0
+        input_dbm = watts_to_dbm(input_power)
+        logistic = 1.0 / (1.0 + np.exp(
+            -(input_dbm - self.half_efficiency_dbm) / (self.slope_db / 2.0)))
+        return float(self.peak_efficiency * logistic)
+
+    def harvested_power(self, input_power: float) -> float:
+        """DC output power [W] for an RF input power [W]."""
+        return input_power * self.efficiency(input_power)
+
+
+@dataclass(frozen=True)
+class HarvestingReport:
+    """Harvesting feasibility at one deployment geometry.
+
+    Attributes:
+        incident_power: RF power captured by the tag antenna [W].
+        harvested_power: DC power after rectification [W].
+        tag_power: The tag's consumption [W].
+    """
+
+    incident_power: float
+    harvested_power: float
+    tag_power: float
+
+    @property
+    def margin(self) -> float:
+        """Harvested-over-consumed ratio (>1 = battery-free feasible)."""
+        if self.tag_power <= 0.0:
+            return float("inf")
+        return self.harvested_power / self.tag_power
+
+    @property
+    def feasible(self) -> bool:
+        """Whether harvesting covers the tag's budget."""
+        return self.margin >= 1.0
+
+
+class EnergyHarvester:
+    """Friis-fed rectifier powering the tag.
+
+    Args:
+        rectifier: The RF-to-DC converter.
+        tag_antenna_gain_dbi: Tag antenna gain [dBi].
+    """
+
+    def __init__(self, rectifier: Rectifier = Rectifier(),
+                 tag_antenna_gain_dbi: float = 2.0):
+        self.rectifier = rectifier
+        self.tag_antenna_gain_dbi = float(tag_antenna_gain_dbi)
+
+    def incident_power(self, tx_power_dbm: float, tx_gain_dbi: float,
+                       distance: float, frequency: float) -> float:
+        """RF power [W] captured by the tag antenna."""
+        gain = free_space_path_gain(frequency, distance, tx_gain_dbi,
+                                    self.tag_antenna_gain_dbi)
+        return dbm_to_watts(tx_power_dbm) * float(np.abs(gain)) ** 2
+
+    def report(self, budget: PowerBudget, tx_power_dbm: float,
+               tx_gain_dbi: float, distance: float,
+               frequency: float) -> HarvestingReport:
+        """Feasibility report for one geometry + tag budget."""
+        incident = self.incident_power(tx_power_dbm, tx_gain_dbi,
+                                       distance, frequency)
+        return HarvestingReport(
+            incident_power=incident,
+            harvested_power=self.rectifier.harvested_power(incident),
+            tag_power=budget.total,
+        )
+
+    def break_even_range(self, budget: PowerBudget, tx_power_dbm: float,
+                         tx_gain_dbi: float, frequency: float,
+                         max_range: float = 50.0) -> float:
+        """Largest distance [m] at which harvesting still powers the tag.
+
+        Bisection on the monotone harvested-power-vs-distance relation.
+
+        Raises:
+            ConfigurationError: Harvesting fails even at 10 cm.
+        """
+        if max_range <= 0.1:
+            raise ConfigurationError(
+                f"max range must exceed 0.1 m, got {max_range}"
+            )
+        near = self.report(budget, tx_power_dbm, tx_gain_dbi, 0.1,
+                           frequency)
+        if not near.feasible:
+            raise ConfigurationError(
+                "harvesting infeasible even at 0.1 m; raise TX power or "
+                "rectifier efficiency"
+            )
+        if self.report(budget, tx_power_dbm, tx_gain_dbi, max_range,
+                       frequency).feasible:
+            return max_range
+        low, high = 0.1, max_range
+        for _ in range(60):
+            mid = 0.5 * (low + high)
+            if self.report(budget, tx_power_dbm, tx_gain_dbi, mid,
+                           frequency).feasible:
+                low = mid
+            else:
+                high = mid
+        return low

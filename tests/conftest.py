@@ -1,0 +1,76 @@
+"""Shared fixtures.
+
+The expensive objects (contact-map transducers, calibrated models) are
+process-cached by repro.experiments.scenarios; the fixtures here just
+give tests tidy names for them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.scenarios import (
+    calibrated_model,
+    fast_transducer,
+    thin_trace_transducer,
+)
+from repro.mechanics.beam import BeamSection, CompositeBeam
+from repro.mechanics.materials import COPPER, ECOFLEX_0030
+from repro.rf.microstrip import MicrostripLine
+from repro.sensor.geometry import default_sensor_design
+from repro.sensor.tag import WiForceTag
+
+
+@pytest.fixture(scope="session")
+def design():
+    """The paper's default sensor design."""
+    return default_sensor_design()
+
+
+@pytest.fixture(scope="session")
+def line():
+    """The paper's microstrip geometry."""
+    return MicrostripLine()
+
+
+@pytest.fixture(scope="session")
+def transducer():
+    """Reduced-resolution transducer (process-cached)."""
+    return fast_transducer()
+
+
+@pytest.fixture(scope="session")
+def thin_transducer():
+    """Bare-trace transducer for transduction ablations."""
+    return thin_trace_transducer()
+
+
+@pytest.fixture(scope="session")
+def tag(transducer):
+    """A default tag over the fast transducer."""
+    return WiForceTag(transducer)
+
+
+@pytest.fixture(scope="session")
+def model_900():
+    """Harmonic-domain calibration at 900 MHz (fast)."""
+    return calibrated_model(900e6, fast=True)
+
+
+@pytest.fixture(scope="session")
+def composite_beam():
+    """The default laminated beam."""
+    return CompositeBeam(
+        [
+            BeamSection(COPPER, width=2.5e-3, thickness=35e-6),
+            BeamSection(ECOFLEX_0030, width=10e-3, thickness=10e-3),
+        ],
+        length=80e-3,
+    )
+
+
+@pytest.fixture()
+def rng():
+    """Deterministic random source per test."""
+    return np.random.default_rng(1234)

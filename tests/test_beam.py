@@ -1,0 +1,145 @@
+"""Composite-beam and analytic deflection tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mechanics.beam import (
+    BeamSection,
+    CompositeBeam,
+    first_contact_force,
+    simply_supported_deflection,
+)
+from repro.mechanics.materials import COPPER, ECOFLEX_0030
+
+
+class TestBeamSection:
+    def test_area(self):
+        section = BeamSection(COPPER, width=2e-3, thickness=1e-3)
+        assert section.area == pytest.approx(2e-6)
+
+    def test_self_inertia(self):
+        section = BeamSection(COPPER, width=12e-3, thickness=1e-3)
+        assert section.self_inertia == pytest.approx(1e-12)
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(ConfigurationError):
+            BeamSection(COPPER, width=0.0, thickness=1e-3)
+
+    def test_rejects_negative_thickness(self):
+        with pytest.raises(ConfigurationError):
+            BeamSection(COPPER, width=1e-3, thickness=-1e-3)
+
+
+class TestCompositeBeam:
+    def test_single_layer_matches_ei(self):
+        section = BeamSection(COPPER, width=10e-3, thickness=2e-3)
+        beam = CompositeBeam([section], length=0.1)
+        expected = COPPER.youngs_modulus * section.self_inertia
+        assert beam.bending_stiffness == pytest.approx(expected)
+
+    def test_single_layer_neutral_axis_at_mid(self):
+        beam = CompositeBeam(
+            [BeamSection(COPPER, width=10e-3, thickness=2e-3)], length=0.1)
+        assert beam.neutral_axis == pytest.approx(1e-3)
+
+    def test_composite_stiffer_than_either_layer(self, composite_beam):
+        copper_only = CompositeBeam(
+            [BeamSection(COPPER, width=2.5e-3, thickness=35e-6)], length=80e-3)
+        soft_only = CompositeBeam(
+            [BeamSection(ECOFLEX_0030, width=10e-3, thickness=10e-3)],
+            length=80e-3)
+        assert composite_beam.bending_stiffness > copper_only.bending_stiffness
+        assert composite_beam.bending_stiffness > soft_only.bending_stiffness
+
+    def test_neutral_axis_pulled_to_stiff_layer(self, composite_beam):
+        # Copper dominates, so the neutral axis sits near the bottom.
+        assert composite_beam.neutral_axis < 0.1 * composite_beam.total_thickness
+
+    def test_total_thickness(self, composite_beam):
+        assert composite_beam.total_thickness == pytest.approx(
+            35e-6 + 10e-3)
+
+    def test_mass_per_length_positive(self, composite_beam):
+        assert composite_beam.mass_per_length > 0.0
+
+    def test_rejects_empty_layers(self):
+        with pytest.raises(ConfigurationError):
+            CompositeBeam([], length=0.1)
+
+    def test_rejects_zero_length(self):
+        with pytest.raises(ConfigurationError):
+            CompositeBeam(
+                [BeamSection(COPPER, width=1e-3, thickness=1e-3)], length=0.0)
+
+    def test_layers_exposed_as_tuple(self, composite_beam):
+        assert len(composite_beam.layers) == 2
+
+
+class TestSimplySupportedDeflection:
+    def test_zero_at_supports(self):
+        x = np.array([0.0, 0.1])
+        w = simply_supported_deflection(x, 0.05, 1.0, 0.1, 1e-3)
+        assert w == pytest.approx([0.0, 0.0], abs=1e-15)
+
+    def test_max_under_central_load(self):
+        x = np.linspace(0.0, 0.1, 1001)
+        w = simply_supported_deflection(x, 0.05, 1.0, 0.1, 1e-3)
+        assert abs(x[np.argmax(w)] - 0.05) < 1e-3
+
+    def test_central_load_textbook_value(self):
+        # w_max = F L^3 / (48 EI) for a central point load.
+        length, stiffness, force = 0.1, 1e-3, 2.0
+        x = np.array([length / 2.0])
+        w = simply_supported_deflection(x, length / 2.0, force, length,
+                                        stiffness)
+        assert w[0] == pytest.approx(force * length ** 3 / (48 * stiffness),
+                                     rel=1e-9)
+
+    def test_linear_in_force(self):
+        x = np.linspace(0.0, 0.1, 11)
+        w1 = simply_supported_deflection(x, 0.03, 1.0, 0.1, 1e-3)
+        w2 = simply_supported_deflection(x, 0.03, 2.0, 0.1, 1e-3)
+        np.testing.assert_allclose(w2, 2.0 * w1)
+
+    def test_symmetric_load_symmetric_shape(self):
+        x = np.linspace(0.0, 0.1, 101)
+        w = simply_supported_deflection(x, 0.05, 1.0, 0.1, 1e-3)
+        np.testing.assert_allclose(w, w[::-1], atol=1e-12)
+
+    def test_mirror_symmetry_of_offset_loads(self):
+        x = np.linspace(0.0, 0.1, 101)
+        w_left = simply_supported_deflection(x, 0.03, 1.0, 0.1, 1e-3)
+        w_right = simply_supported_deflection(x, 0.07, 1.0, 0.1, 1e-3)
+        np.testing.assert_allclose(w_left, w_right[::-1], atol=1e-12)
+
+    def test_rejects_load_outside_beam(self):
+        with pytest.raises(ConfigurationError):
+            simply_supported_deflection(np.array([0.05]), 0.2, 1.0, 0.1, 1e-3)
+
+    def test_rejects_nonpositive_stiffness(self):
+        with pytest.raises(ConfigurationError):
+            simply_supported_deflection(np.array([0.05]), 0.05, 1.0, 0.1, 0.0)
+
+
+class TestFirstContactForce:
+    def test_textbook_value_for_central_press(self):
+        # F = 48 EI g / L^3 for a central load.
+        length, stiffness, gap = 0.1, 1e-3, 1e-3
+        force = first_contact_force(length / 2.0, length, stiffness, gap)
+        assert force == pytest.approx(48 * stiffness * gap / length ** 3,
+                                      rel=1e-3)
+
+    def test_stiffer_beam_needs_more_force(self):
+        soft = first_contact_force(0.04, 0.08, 1e-4, 0.63e-3)
+        stiff = first_contact_force(0.04, 0.08, 1e-3, 0.63e-3)
+        assert stiff == pytest.approx(10 * soft, rel=1e-6)
+
+    def test_end_press_needs_more_force_than_centre(self):
+        centre = first_contact_force(0.04, 0.08, 1e-4, 0.63e-3)
+        end = first_contact_force(0.01, 0.08, 1e-4, 0.63e-3)
+        assert end > centre
+
+    def test_rejects_nonpositive_gap(self):
+        with pytest.raises(ConfigurationError):
+            first_contact_force(0.04, 0.08, 1e-4, 0.0)

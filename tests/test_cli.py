@@ -1,0 +1,67 @@
+"""CLI tests (python -m repro ...)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_info_parses(self):
+        args = build_parser().parse_args(["info"])
+        assert args.command == "info"
+
+    def test_calibrate_defaults(self):
+        args = build_parser().parse_args(["calibrate"])
+        assert args.carrier == 900e6
+        assert args.output == "wiforce_model.json"
+
+    def test_read_requires_model(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["read", "--force", "1",
+                                       "--location", "0.04"])
+
+
+class TestCommands:
+    def test_info_runs(self, capsys):
+        assert main(["info"]) == 0
+        output = capsys.readouterr().out
+        assert "80 mm" in output
+        assert "HMC544AE" in output
+
+    def test_power_runs(self, capsys):
+        assert main(["power"]) == 0
+        output = capsys.readouterr().out
+        assert "uW" in output
+
+    def test_report_parses(self):
+        args = build_parser().parse_args(["report", "--output", "r.md"])
+        assert args.command == "report"
+        assert args.fast is True
+
+    def test_report_full_flag(self):
+        args = build_parser().parse_args(["report", "--full"])
+        assert args.fast is False
+
+    def test_calibrate_then_read(self, tmp_path, capsys):
+        model_path = tmp_path / "model.json"
+        assert main(["calibrate", "--fast", "--output",
+                     str(model_path)]) == 0
+        assert model_path.exists()
+        assert main(["read", "--model", str(model_path), "--force", "3.0",
+                     "--location", "0.04", "--fast",
+                     "--repeats", "1"]) == 0
+        output = capsys.readouterr().out
+        assert "estimated:" in output
+
+
+@pytest.mark.integration
+class TestDemoCommand:
+    def test_demo_runs_end_to_end(self, capsys):
+        assert main(["demo", "--fast", "--seed", "4"]) == 0
+        output = capsys.readouterr().out
+        assert "press 2.0 N" in output
+        assert "read" in output

@@ -1,0 +1,128 @@
+"""SMA connector parasitics and moving-clutter model tests."""
+
+import numpy as np
+import pytest
+
+from repro.channel.mobility import (
+    clutter_rejection_db,
+    doppler_shift,
+    equivalent_speed,
+    walking_person_clutter,
+)
+from repro.errors import ChannelError, ConfigurationError
+from repro.rf.connector import (
+    SMA_EDGE_LAUNCH,
+    SMA_HAND_SOLDERED,
+    SMAConnector,
+    connectorized,
+)
+from repro.rf.elements import line_twoport
+from repro.units import SPEED_OF_LIGHT
+
+
+class TestSMAConnector:
+    def test_ideal_connector_is_identity(self, line):
+        connector = SMAConnector(series_inductance=0.0,
+                                 shunt_capacitance=0.0)
+        frequency = np.linspace(0.1e9, 3e9, 31)
+        bare = line_twoport(line, frequency)
+        wrapped = connectorized(bare, connector)
+        np.testing.assert_allclose(wrapped.s, bare.s, atol=1e-12)
+
+    def test_parasitics_degrade_s11(self, line):
+        frequency = np.linspace(0.1e9, 3e9, 61)
+        bare = line_twoport(line, frequency)
+        wrapped = connectorized(bare, SMA_EDGE_LAUNCH)
+        assert (np.abs(wrapped.s11).max()
+                > np.abs(bare.s11).max())
+
+    def test_still_meets_paper_spec(self, line):
+        """Even connectorized, the sensor keeps S11 < -10 dB to 3 GHz
+        (the Fig. 10 requirement)."""
+        frequency = np.linspace(0.1e9, 3e9, 61)
+        wrapped = connectorized(line_twoport(line, frequency),
+                                SMA_EDGE_LAUNCH)
+        worst = 20 * np.log10(np.abs(wrapped.s11).max())
+        assert worst < -10.0
+
+    def test_sloppy_connector_worse(self, line):
+        frequency = np.linspace(0.1e9, 3e9, 61)
+        bare = line_twoport(line, frequency)
+        good = connectorized(bare, SMA_EDGE_LAUNCH)
+        bad = connectorized(bare, SMA_HAND_SOLDERED)
+        assert np.abs(bad.s11).max() > np.abs(good.s11).max()
+
+    def test_degradation_grows_with_frequency(self, line):
+        frequency = np.array([0.5e9, 2.9e9])
+        wrapped = connectorized(line_twoport(line, frequency),
+                                SMA_EDGE_LAUNCH)
+        assert abs(wrapped.s11[1]) > abs(wrapped.s11[0])
+
+    def test_rejects_negative_parasitics(self):
+        with pytest.raises(ConfigurationError):
+            SMAConnector(series_inductance=-1e-9)
+
+
+class TestDopplerEquivalence:
+    def test_doppler_formula(self):
+        assert doppler_shift(1.0, 900e6) == pytest.approx(
+            2 * 900e6 / SPEED_OF_LIGHT)
+
+    def test_equivalent_speed_enormous(self):
+        """Section 3.3: the 1 kHz tone equals a reflector at ~170 m/s
+        — two orders of magnitude beyond indoor motion."""
+        speed = equivalent_speed(1e3, 900e6)
+        assert speed > 100.0
+
+    def test_inverse_relation(self):
+        speed = equivalent_speed(1e3, 900e6)
+        assert doppler_shift(speed, 900e6) == pytest.approx(1e3)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ChannelError):
+            equivalent_speed(0.0, 900e6)
+        with pytest.raises(ChannelError):
+            doppler_shift(1.0, 0.0)
+
+
+class TestWalkingClutter:
+    def test_not_static(self, rng):
+        clutter = walking_person_clutter(900e6, rng=rng)
+        assert not clutter.is_static
+
+    def test_dopplers_are_low_frequency(self, rng):
+        """Human motion stays far below the kHz readout tones."""
+        clutter = walking_person_clutter(900e6, speed=2.0, rng=rng)
+        assert all(abs(path.doppler) < 100.0 for path in clutter.paths)
+
+    def test_total_amplitude(self, rng):
+        clutter = walking_person_clutter(900e6,
+                                         reflection_amplitude=1e-3,
+                                         rng=rng)
+        total = sum(abs(path.gain) for path in clutter.paths)
+        assert total == pytest.approx(1e-3, rel=1e-6)
+
+    def test_rejects_negative_speed(self, rng):
+        with pytest.raises(ChannelError):
+            walking_person_clutter(900e6, speed=-1.0, rng=rng)
+
+
+class TestClutterRejection:
+    def test_strong_rejection_at_tone(self):
+        """A 10 Hz walker is >40 dB down in the 1 kHz bin for the
+        paper's 625-snapshot groups."""
+        rejection = clutter_rejection_db(1e3, 10.0, 625, 57.6e-6)
+        assert rejection > 40.0
+
+    def test_zero_offset_no_rejection(self):
+        assert clutter_rejection_db(1e3, 1e3, 625, 57.6e-6) == pytest.approx(
+            0.0, abs=0.1)
+
+    def test_rejection_improves_with_group_length(self):
+        short = clutter_rejection_db(1e3, 100.0, 125, 57.6e-6)
+        long = clutter_rejection_db(1e3, 100.0, 1250, 57.6e-6)
+        assert long > short
+
+    def test_rejects_bad_group(self):
+        with pytest.raises(ChannelError):
+            clutter_rejection_db(1e3, 10.0, 1, 57.6e-6)

@@ -1,0 +1,113 @@
+"""Sensor RF element tests: the shorted line is the transducer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RFError
+from repro.rf.elements import (
+    ideal_splitter_reflection,
+    line_twoport,
+    shorted_sensor_twoport,
+)
+from repro.rf.microstrip import MicrostripLine
+
+FREQ = np.array([900e6, 2.4e9])
+
+
+class TestLineTwoport:
+    def test_untouched_sensor_well_matched(self, line):
+        network = line_twoport(line, FREQ)
+        assert np.all(np.abs(network.s11) < 10 ** (-10.0 / 20.0))
+
+    def test_through_phase_matches_length(self, line):
+        network = line_twoport(line, np.array([2.4e9]))
+        expected = -float(line.phase_constant(2.4e9)) * line.length
+        measured = float(np.angle(network.s21[0]))
+        assert np.angle(np.exp(1j * (measured - expected))) == pytest.approx(
+            0.0, abs=0.05)
+
+    def test_partial_length(self, line):
+        network = line_twoport(line, np.array([2.4e9]), length=0.02)
+        expected = -float(line.phase_constant(2.4e9)) * 0.02
+        assert np.angle(network.s21[0]) == pytest.approx(expected, abs=0.05)
+
+    def test_rejects_negative_length(self, line):
+        with pytest.raises(RFError):
+            line_twoport(line, FREQ, length=-0.01)
+
+
+class TestShortedSensor:
+    def test_none_means_untouched(self, line):
+        shorted = shorted_sensor_twoport(line, FREQ, None)
+        plain = line_twoport(line, FREQ)
+        np.testing.assert_allclose(shorted.s, plain.s)
+
+    def test_short_kills_transmission(self, line):
+        network = shorted_sensor_twoport(line, FREQ, (0.02, 0.028))
+        assert np.all(np.abs(network.s21) < 0.1)
+
+    def test_port1_sees_short_at_p1(self, line):
+        """S11 of the pressed sensor is the shorted-stub reflection:
+        -exp(-2 gamma p1), to within the small contact resistance."""
+        p1 = 0.02
+        network = shorted_sensor_twoport(line, np.array([2.4e9]), (p1, 0.03))
+        beta = float(line.phase_constant(2.4e9))
+        expected_phase = np.angle(-np.exp(-2j * beta * p1))
+        measured = float(np.angle(network.s11[0]))
+        assert np.angle(np.exp(1j * (measured - expected_phase))
+                        ) == pytest.approx(0.0, abs=0.25)
+
+    def test_port2_sees_short_at_p2(self, line):
+        p2 = 0.055
+        network = shorted_sensor_twoport(line, np.array([2.4e9]), (0.045, p2))
+        beta = float(line.phase_constant(2.4e9))
+        back = line.length - p2
+        expected_phase = np.angle(-np.exp(-2j * beta * back))
+        measured = float(np.angle(network.s22[0]))
+        assert np.angle(np.exp(1j * (measured - expected_phase))
+                        ) == pytest.approx(0.0, abs=0.25)
+
+    def test_shifting_short_shifts_phase_at_expected_rate(self, line):
+        """1 mm of shorting-point travel = 2 beta mm of phase."""
+        base = shorted_sensor_twoport(line, np.array([2.4e9]), (0.020, 0.030))
+        moved = shorted_sensor_twoport(line, np.array([2.4e9]), (0.021, 0.030))
+        delta = np.angle(moved.s11[0] * np.conj(base.s11[0]))
+        expected = -2.0 * float(line.phase_constant(2.4e9)) * 1e-3
+        assert delta == pytest.approx(expected, rel=0.15)
+
+    def test_reflection_magnitude_near_unity(self, line):
+        network = shorted_sensor_twoport(line, FREQ, (0.02, 0.03))
+        assert np.all(np.abs(network.s11) > 0.9)
+
+    def test_point_contact_allowed(self, line):
+        network = shorted_sensor_twoport(line, FREQ, (0.04, 0.04))
+        assert np.all(np.abs(network.s11) > 0.9)
+
+    def test_rejects_unordered_points(self, line):
+        with pytest.raises(RFError):
+            shorted_sensor_twoport(line, FREQ, (0.05, 0.02))
+
+    def test_rejects_points_outside_line(self, line):
+        with pytest.raises(RFError):
+            shorted_sensor_twoport(line, FREQ, (0.02, 0.09))
+
+    def test_rejects_nonpositive_contact_resistance(self, line):
+        with pytest.raises(RFError):
+            shorted_sensor_twoport(line, FREQ, (0.02, 0.03),
+                                   contact_resistance=0.0)
+
+
+class TestSplitter:
+    def test_averages_branches(self):
+        a = np.array([1.0 + 0j])
+        b = np.array([0.0 + 0j])
+        assert ideal_splitter_reflection(a, b)[0] == pytest.approx(0.5)
+
+    def test_equal_branches_pass_through(self):
+        a = np.array([0.3 + 0.4j])
+        assert ideal_splitter_reflection(a, a)[0] == pytest.approx(a[0])
+
+    def test_magnitude_bounded(self):
+        a = np.exp(1j * np.linspace(0, 2 * np.pi, 16))
+        b = np.exp(-1j * np.linspace(0, 2 * np.pi, 16))
+        assert np.all(np.abs(ideal_splitter_reflection(a, b)) <= 1.0 + 1e-12)

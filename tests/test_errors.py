@@ -1,0 +1,39 @@
+"""Exception-hierarchy tests: one catchable root, meaningful subtypes."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("subtype", [
+        errors.ConfigurationError,
+        errors.MechanicsError,
+        errors.ContactSolverError,
+        errors.RFError,
+        errors.SensorError,
+        errors.ClockingError,
+        errors.ChannelError,
+        errors.ReaderError,
+        errors.DynamicRangeError,
+        errors.CalibrationError,
+        errors.EstimationError,
+    ])
+    def test_all_derive_from_root(self, subtype):
+        assert issubclass(subtype, errors.WiForceError)
+
+    def test_configuration_error_is_value_error(self):
+        assert issubclass(errors.ConfigurationError, ValueError)
+
+    def test_contact_solver_is_mechanics(self):
+        assert issubclass(errors.ContactSolverError, errors.MechanicsError)
+
+    def test_clocking_is_sensor(self):
+        assert issubclass(errors.ClockingError, errors.SensorError)
+
+    def test_dynamic_range_is_reader(self):
+        assert issubclass(errors.DynamicRangeError, errors.ReaderError)
+
+    def test_root_catches_subtype(self):
+        with pytest.raises(errors.WiForceError):
+            raise errors.DynamicRangeError("saturated")

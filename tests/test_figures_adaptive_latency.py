@@ -1,0 +1,156 @@
+"""ASCII figures, adaptive group sizing and latency-baseline tests."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.vision_haptics import (
+    SLIP_DEADLINE,
+    VisionHapticsPipeline,
+    WiForceLatency,
+    latency_comparison,
+)
+from repro.core.adaptive import (
+    GroupLengthChoice,
+    optimal_group_length,
+    predicted_phase_std_deg,
+)
+from repro.errors import ConfigurationError
+from repro.experiments.figures import ascii_cdf, ascii_histogram, ascii_plot
+
+T = 57.6e-6
+
+
+class TestAsciiPlot:
+    def test_renders_series(self):
+        x = np.linspace(0.0, 8.0, 20)
+        plot = ascii_plot([("phase", x, x ** 2)], x_label="force [N]",
+                          y_label="deg")
+        assert "p" in plot
+        assert "force [N]" in plot
+        assert "64" in plot  # y_max label (8^2) appears on the axis
+
+    def test_two_series_distinct_markers(self):
+        x = np.linspace(0.0, 1.0, 10)
+        plot = ascii_plot([("a-series", x, x), ("b-series", x, 1 - x)])
+        assert "a" in plot and "b" in plot
+
+    def test_extremes_labelled(self):
+        x = np.linspace(0.0, 1.0, 10)
+        plot = ascii_plot([("s", x, 3.0 + x)])
+        assert "3" in plot  # y_min label
+        assert "4" in plot  # y_max label
+
+    def test_constant_series_does_not_crash(self):
+        x = np.linspace(0.0, 1.0, 10)
+        plot = ascii_plot([("s", x, np.ones_like(x))])
+        assert "s" in plot
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            ascii_plot([])
+
+    def test_rejects_mismatched(self):
+        with pytest.raises(ConfigurationError):
+            ascii_plot([("s", np.arange(3), np.arange(4))])
+
+    def test_rejects_tiny_canvas(self):
+        x = np.linspace(0.0, 1.0, 10)
+        with pytest.raises(ConfigurationError):
+            ascii_plot([("s", x, x)], width=4, height=2)
+
+
+class TestAsciiCdfHistogram:
+    def test_cdf_monotone_output(self, rng):
+        errors = rng.normal(0.0, 1.0, 200)
+        plot = ascii_cdf([("errors", errors)])
+        assert "CDF" in plot
+
+    def test_cdf_rejects_single_sample(self):
+        with pytest.raises(ConfigurationError):
+            ascii_cdf([("one", [0.5])])
+
+    def test_histogram_bars(self):
+        plot = ascii_histogram([1.0, 1.1, 2.5], np.array([0.0, 2.0, 4.0]),
+                               label="loc")
+        assert "#" in plot
+        assert "loc" in plot
+
+    def test_histogram_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            ascii_histogram([], np.array([0.0, 1.0]))
+
+
+class TestAdaptiveGroupLength:
+    def test_error_model_components(self):
+        pure_noise = predicted_phase_std_deg(100, T, 1.0, 0.0)
+        assert pure_noise == pytest.approx(0.1)
+        pure_wander = predicted_phase_std_deg(100, T, 0.0, 1.0)
+        assert pure_wander == pytest.approx(np.sqrt(100 * T))
+
+    def test_choice_is_integer_period_multiple(self):
+        choice = optimal_group_length(T, 1e3, 2.0, 0.5)
+        assert choice.group_length % 625 == 0
+
+    def test_noisy_link_wants_longer_groups(self):
+        quiet = optimal_group_length(T, 1e3, 0.5, 1.0)
+        noisy = optimal_group_length(T, 1e3, 20.0, 1.0)
+        assert noisy.group_length >= quiet.group_length
+
+    def test_jittery_clock_wants_short_groups(self):
+        stable = optimal_group_length(T, 1e3, 5.0, 0.05)
+        jittery = optimal_group_length(T, 1e3, 5.0, 5.0)
+        assert jittery.group_length <= stable.group_length
+
+    def test_duration_cap_respected(self):
+        choice = optimal_group_length(T, 1e3, 50.0, 0.0,
+                                      max_duration=0.08)
+        assert choice.group_duration <= 0.08 + 1e-9
+
+    def test_default_deployment_matches_paper_choice(self):
+        """At the prototype's SNR and oscillator quality the optimum is
+        a small multiple of the base 36 ms group — the paper's regime."""
+        choice = optimal_group_length(T, 1e3, 1.0, 0.5)
+        assert choice.group_duration <= 0.15
+
+    def test_predicted_error_at_choice(self):
+        choice = optimal_group_length(T, 1e3, 1.0, 0.5)
+        direct = predicted_phase_std_deg(choice.group_length, T, 1.0, 0.5)
+        assert choice.predicted_phase_std_deg == pytest.approx(direct)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ConfigurationError):
+            predicted_phase_std_deg(0, T, 1.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            optimal_group_length(T, 1e3, 1.0, 1.0, max_duration=0.0)
+
+
+class TestVisionLatencyBaseline:
+    def test_vision_misses_slip_deadline(self):
+        """The section 6 claim: a 30 fps vision pipeline cannot close
+        the incipient-slip loop."""
+        assert not VisionHapticsPipeline().meets_slip_deadline()
+
+    def test_wiforce_meets_slip_deadline(self):
+        assert WiForceLatency().meets_slip_deadline()
+
+    def test_latency_ordering(self):
+        result = latency_comparison()
+        assert result["wiforce_latency_s"] < result["vision_latency_s"]
+        assert result["advantage"] > 1.5
+
+    def test_fast_camera_narrows_the_gap(self):
+        slow = VisionHapticsPipeline(frame_rate=30.0)
+        fast = VisionHapticsPipeline(frame_rate=240.0, inference_time=5e-3)
+        assert fast.feedback_latency < slow.feedback_latency
+
+    def test_deadline_parameter(self):
+        assert VisionHapticsPipeline().meets_slip_deadline(deadline=1.0)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            VisionHapticsPipeline(frame_rate=0.0)
+        with pytest.raises(ConfigurationError):
+            WiForceLatency(group_duration=0.0)
+
+    def test_slip_deadline_constant_sane(self):
+        assert 0.01 <= SLIP_DEADLINE <= 0.2

@@ -1,0 +1,235 @@
+"""Integration tests: every paper claim's *shape*, in fast mode.
+
+One test per evaluation artefact (DESIGN.md index).  These run the same
+runners the benchmarks print, with reduced sample counts.
+"""
+
+import numpy as np
+import pytest
+
+from repro import TagState, build_default_system
+from repro.experiments import runners
+
+
+@pytest.mark.integration
+class TestFig04Transduction:
+    def test_soft_beam_enables_transduction(self):
+        result = runners.run_fig04(fast=True)
+        assert result.soft_swing_deg > 15.0
+        assert result.thin_swing_deg < 0.3 * result.soft_swing_deg
+
+
+@pytest.mark.integration
+class TestFig05BeamProfiles:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return runners.run_fig05(fast=True)
+
+    def test_centre_press_symmetric(self, result):
+        centre = list(result.locations).index(0.040)
+        np.testing.assert_allclose(result.port1_deg[centre],
+                                   result.port2_deg[centre], atol=4.0)
+
+    def test_off_centre_asymmetric(self, result):
+        """Pressing at 20 mm: the near port swings more than the far."""
+        index = list(result.locations).index(0.020)
+        assert (result.swing_deg(index, 1)
+                > 1.2 * result.swing_deg(index, 2))
+
+    def test_mirror_symmetry(self, result):
+        left = list(result.locations).index(0.020)
+        right = list(result.locations).index(0.060)
+        assert result.swing_deg(left, 1) == pytest.approx(
+            result.swing_deg(right, 2), abs=3.0)
+
+    def test_profiles_monotonic_overall(self, result):
+        """More force always means more shorting-point travel; the
+        phase profiles trend rather than oscillate."""
+        for i in range(len(result.locations)):
+            profile = result.port1_deg[i]
+            total = abs(profile[-1] - profile[0])
+            assert total > 10.0
+
+
+@pytest.mark.integration
+class TestFig07Intermodulation:
+    def test_duty_cycling_removes_intermodulation(self):
+        result = runners.run_fig07(fast=True)
+        assert result.overlap_wiforce == 0.0
+        assert result.overlap_naive > 0.2
+        assert result.wiforce_worst_error_deg < 2.0
+        assert result.naive_worst_error_deg > 20.0
+
+
+@pytest.mark.integration
+class TestFig10SensorRF:
+    def test_broadband_matching(self):
+        result = runners.run_fig10()
+        assert result.worst_s11_db < -10.0      # the paper's spec
+        assert result.worst_s21_db > -1.0       # thru ~ 0 dB
+        assert result.s21_phase_residual_deg < 1.0  # linear phase
+
+
+@pytest.mark.integration
+class TestTable1:
+    def test_wireless_tracks_model(self):
+        result = runners.run_table1(fast=True, force_points=5)
+        assert result.wireless_model_rmse_deg() < 3.0
+
+    def test_vna_and_wireless_agree_roughly(self):
+        result = runners.run_table1(fast=True, force_points=5)
+        delta = np.abs(result.vna_port1_deg - result.wireless_port1_deg)
+        delta = np.minimum(delta, 360.0 - delta)
+        assert np.median(delta) < 15.0
+
+
+@pytest.mark.integration
+class TestFig13Fig14Accuracy:
+    @pytest.fixture(scope="class")
+    def result_900(self):
+        return runners.run_wireless_accuracy(900e6, fast=True,
+                                             force_points=5, repeats=2,
+                                             seed=5)
+
+    @pytest.fixture(scope="class")
+    def result_2g4(self):
+        return runners.run_wireless_accuracy(2.4e9, fast=True,
+                                             force_points=5, repeats=2,
+                                             seed=5)
+
+    def test_force_accuracy_band(self, result_900):
+        """Median force error well under 1 N (paper: 0.56 N)."""
+        assert result_900.median_force_error < 0.7
+
+    def test_location_accuracy_band(self, result_900):
+        """Median location error in the sub-mm class (paper: 0.86 mm)."""
+        assert result_900.median_location_error < 1.5e-3
+
+    def test_higher_carrier_not_worse(self, result_900, result_2g4):
+        """Paper: 2.4 GHz beats 900 MHz thanks to more phase per mm."""
+        assert (result_2g4.median_location_error
+                < 1.5 * result_900.median_location_error)
+
+    def test_uniform_across_length(self, result_900):
+        """Per-location medians stay within a small factor of the
+        pooled median (the paper's Fig. 13 observation)."""
+        pooled = result_900.median_location_error
+        for _, (_, location_errors) in result_900.per_location.items():
+            assert np.median(np.abs(location_errors)) < 6.0 * pooled + 1e-4
+
+
+@pytest.mark.integration
+class TestFig16Tissue:
+    def test_tissue_scenario(self):
+        result = runners.run_tissue(fast=True, force_points=4, repeats=1)
+        assert result.saturated_without_plate
+        assert result.median_force_error < 1.0
+
+
+@pytest.mark.integration
+class TestFig17Fingertip:
+    def test_fingertip_interaction(self):
+        result = runners.run_fingertip(fast=True)
+        # Location: everything within a fingertip's width of 60 mm.
+        assert np.all(np.abs(result.location_estimates
+                             - result.target_location) < 5e-3)
+        assert result.levels_monotonic
+        relative = result.level_estimates / result.level_targets
+        assert np.all(relative > 0.6)
+        assert np.all(relative < 1.4)
+
+
+@pytest.mark.integration
+class TestFig18Distance:
+    def test_stability_bands(self):
+        result = runners.run_distance(fast=True)
+        assert result.best_stability_deg < 1.5
+        assert result.worst_stability_deg < 5.0
+        # Extreme range degrades the phase stability.
+        assert (result.separation_stability_deg[-1]
+                > result.separation_stability_deg[0])
+
+
+@pytest.mark.integration
+class TestFig19Impedance:
+    def test_ratio_shift(self):
+        result = runners.run_impedance_ratio()
+        assert result.optimal_ratio_narrow == pytest.approx(5.0, abs=0.4)
+        assert result.optimal_ratio_wide == pytest.approx(4.0, abs=0.4)
+
+    def test_insertion_loss_best_near_matched_ratio(self):
+        result = runners.run_impedance_ratio()
+        best_narrow = result.ratios[
+            int(np.argmax(result.insertion_loss_narrow_db))]
+        assert best_narrow == pytest.approx(result.optimal_ratio_narrow,
+                                            abs=0.8)
+
+
+@pytest.mark.integration
+class TestPowerAndBaselines:
+    def test_power_comparison(self):
+        result = runners.run_power_comparison()
+        assert result.wiforce.total_uw < 1.0
+        assert result.ratio > 10.0
+
+    def test_baseline_comparison(self):
+        result = runners.run_baseline_comparison(fast=True)
+        # Paper: ~5x better localization than RFID-class systems; the
+        # simulated gap is even wider.
+        assert result.location_advantage > 5.0
+        assert result.multipath_degradation > 3.0
+
+
+@pytest.mark.integration
+class TestAblations:
+    def test_subcarrier_averaging_gain(self):
+        result = runners.run_averaging_ablation(fast=True, captures=16)
+        assert result.improvement > 2.0
+
+    def test_reflective_switch_requirement(self):
+        result = runners.run_switch_ablation(fast=True)
+        assert result.reference_loss_db > 10.0
+
+
+@pytest.mark.integration
+class TestDefaultSystem:
+    def test_build_and_read(self):
+        from repro.experiments.scenarios import fast_transducer
+        system = build_default_system(carrier_frequency=900e6, seed=2,
+                                      transducer=fast_transducer())
+        system.reader.capture_baseline()
+        reading = system.reader.read(TagState(force=3.0, location=0.045))
+        assert reading.force == pytest.approx(3.0, abs=0.6)
+        assert reading.location == pytest.approx(0.045, abs=1.5e-3)
+
+
+@pytest.mark.integration
+class TestFMCWEndToEnd:
+    def test_waveform_agnostic_claim(self):
+        """Section 3.3: the algorithm works on FMCW sweeps too."""
+        from repro.core.harmonics import (HarmonicExtractor,
+                                          integer_period_group_length)
+        from repro.core.phase import differential_phase
+        from repro.channel.propagation import BackscatterLink
+        from repro.core.calibration import harmonic_differential_phases
+        from repro.experiments.scenarios import fast_transducer
+        from repro.reader.fmcw import FMCWSounder, FMCWSounderConfig
+        from repro.sensor.tag import WiForceTag
+
+        transducer = fast_transducer()
+        tag = WiForceTag(transducer)
+        config = FMCWSounderConfig(carrier_frequency=900e6)
+        sounder = FMCWSounder(config, tag, BackscatterLink(),
+                              rng=np.random.default_rng(4))
+        group = integer_period_group_length(config.sweep_period, 1e3)
+        extractor = HarmonicExtractor(tones=(1e3, 4e3), group_length=group)
+
+        base_stream = sounder.capture(TagState(), 2 * group)
+        touch_stream = sounder.capture(TagState(4.0, 0.040), 2 * group,
+                                       start_time=base_stream.duration)
+        base = extractor.extract(base_stream)
+        touch = extractor.extract(touch_stream)
+        phi1 = differential_phase(base[1e3].values.mean(axis=0),
+                                  touch[1e3].values.mean(axis=0))
+        expected = harmonic_differential_phases(tag, 900e6, 4.0, 0.040)[0]
+        assert phi1 == pytest.approx(expected, abs=np.radians(4.0))

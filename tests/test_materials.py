@@ -1,0 +1,82 @@
+"""Material database tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mechanics.materials import (
+    COPPER,
+    ECOFLEX_0030,
+    ECOFLEX_0050,
+    FR4,
+    GELATIN_PHANTOM,
+    Material,
+    material_library,
+)
+
+
+class TestMaterialValidation:
+    def test_rejects_zero_modulus(self):
+        with pytest.raises(ConfigurationError):
+            Material("bad", 0.0, 0.3, 1000.0)
+
+    def test_rejects_negative_modulus(self):
+        with pytest.raises(ConfigurationError):
+            Material("bad", -1e9, 0.3, 1000.0)
+
+    def test_rejects_poisson_half(self):
+        with pytest.raises(ConfigurationError):
+            Material("bad", 1e9, 0.5, 1000.0)
+
+    def test_rejects_negative_poisson(self):
+        with pytest.raises(ConfigurationError):
+            Material("bad", 1e9, -0.1, 1000.0)
+
+    def test_rejects_zero_density(self):
+        with pytest.raises(ConfigurationError):
+            Material("bad", 1e9, 0.3, 0.0)
+
+    def test_valid_material_constructs(self):
+        material = Material("ok", 1e9, 0.3, 1000.0)
+        assert material.youngs_modulus == 1e9
+
+
+class TestDerivedProperties:
+    def test_shear_modulus_formula(self):
+        material = Material("ok", 2.6e9, 0.3, 1000.0)
+        assert material.shear_modulus == pytest.approx(1e9)
+
+    def test_plane_strain_stiffer_than_e(self):
+        assert ECOFLEX_0030.plane_strain_modulus > ECOFLEX_0030.youngs_modulus
+
+    def test_plane_strain_formula(self):
+        expected = COPPER.youngs_modulus / (1 - 0.34 ** 2)
+        assert COPPER.plane_strain_modulus == pytest.approx(expected)
+
+
+class TestLibraryValues:
+    def test_copper_much_stiffer_than_ecoflex(self):
+        assert COPPER.youngs_modulus / ECOFLEX_0030.youngs_modulus > 1e5
+
+    def test_ecoflex_50_stiffer_than_30(self):
+        assert ECOFLEX_0050.youngs_modulus > ECOFLEX_0030.youngs_modulus
+
+    def test_ecoflex_nearly_incompressible(self):
+        assert ECOFLEX_0030.poisson_ratio > 0.45
+
+    def test_gelatin_soft(self):
+        assert GELATIN_PHANTOM.youngs_modulus < 100e3
+
+    def test_library_contains_all(self):
+        library = material_library()
+        for material in (ECOFLEX_0030, ECOFLEX_0050, COPPER, FR4,
+                         GELATIN_PHANTOM):
+            assert library[material.name] is material
+
+    def test_library_copy_is_isolated(self):
+        library = material_library()
+        library.clear()
+        assert material_library()
+
+    def test_materials_are_frozen(self):
+        with pytest.raises(Exception):
+            COPPER.youngs_modulus = 1.0

@@ -1,0 +1,36 @@
+"""Reproduction-report generator tests (fast sections only)."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import report
+
+
+class TestSectionBuilders:
+    def test_fig10_section(self):
+        lines = report._fig10()
+        assert any("S11" in line for line in lines)
+
+    def test_fig19_section(self):
+        lines = report._fig19()
+        text = "\n".join(lines)
+        assert "narrow" in text and "wide" in text
+
+    def test_fig04_section(self):
+        lines = report._fig04(fast=True)
+        assert any("swing" in line for line in lines)
+
+    def test_power_section(self):
+        lines = report._power_baselines(fast=True)
+        text = "\n".join(lines)
+        assert "uW" in text and "RFID" in text
+
+
+@pytest.mark.integration
+class TestGenerateReport:
+    def test_report_committed_at_root(self):
+        """The repo ships a generated REPORT.md (python -m repro report)."""
+        text = (Path(__file__).parent.parent / "REPORT.md").read_text()
+        for heading in ("Fig. 4c", "Table 1", "Fig. 16", "Fig. 19"):
+            assert heading in text

@@ -1,0 +1,118 @@
+"""Backscatter tag tests (paper sections 3.2 / 4.3, Figs. 7-8)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SensorError
+from repro.sensor.clock import naive_clocking
+from repro.sensor.tag import TagState, WiForceTag
+
+CARRIER = np.array([900e6])
+
+
+class TestStateReflections:
+    def test_four_states_present(self, tag):
+        states = tag.state_reflections(CARRIER, TagState())
+        assert set(states) == {(False, False), (False, True),
+                               (True, False), (True, True)}
+
+    def test_off_off_is_small(self, tag):
+        states = tag.state_reflections(CARRIER, TagState())
+        assert abs(states[(False, False)][0]) < 0.2
+
+    def test_single_on_reflects_strongly(self, tag):
+        states = tag.state_reflections(CARRIER, TagState())
+        assert abs(states[(True, False)][0]) > 0.25
+
+    def test_untouched_both_on_includes_cross_coupling(self, tag):
+        """With no press the line conducts, so the both-on state leaks
+        energy between the branches (the intermodulation source)."""
+        states = tag.state_reflections(CARRIER, TagState())
+        both_on = states[(True, True)][0]
+        assert abs(both_on) > 0.3
+
+    def test_press_removes_cross_coupling(self, tag):
+        touched = tag.state_reflections(CARRIER, TagState(4.0, 0.04))
+        untouched = tag.state_reflections(CARRIER, TagState())
+        assert (abs(touched[(True, True)][0])
+                < abs(untouched[(True, True)][0]))
+
+    def test_press_changes_single_on_phase(self, tag):
+        touched = tag.state_reflections(CARRIER, TagState(4.0, 0.04))
+        untouched = tag.state_reflections(CARRIER, TagState())
+        delta = np.angle(touched[(True, False)][0]
+                         * np.conj(untouched[(True, False)][0]))
+        assert abs(delta) > np.radians(5.0)
+
+    def test_cache_returns_consistent_values(self, tag):
+        first = tag.state_reflections(CARRIER, TagState(2.0, 0.04))
+        second = tag.state_reflections(CARRIER, TagState(2.0, 0.04))
+        np.testing.assert_allclose(first[(True, False)],
+                                   second[(True, False)])
+
+
+class TestReflectionSeries:
+    def test_shape(self, tag):
+        times = np.linspace(0.0, 4e-3, 256)
+        series = tag.reflection_series(CARRIER, times, TagState())
+        assert series.shape == (256, 1)
+
+    def test_piecewise_constant_over_states(self, tag):
+        times = np.array([0.0, 0.1e-3])  # both inside clock1's window
+        series = tag.reflection_series(CARRIER, times, TagState())
+        assert series[0, 0] == series[1, 0]
+
+    def test_rejects_negative_force(self, tag):
+        with pytest.raises(SensorError):
+            tag.reflection_series(CARRIER, np.array([0.0]),
+                                  TagState(-1.0, 0.0))
+
+    def test_clock_offset_shifts_windows(self, transducer):
+        slow = WiForceTag(transducer, clock_offset_ppm=0.0)
+        fast = WiForceTag(transducer, clock_offset_ppm=50_000.0)  # 5%
+        # Late enough that a 5% clock error moves a window edge.
+        times = np.full(1, 0.00499)
+        state = TagState()
+        value_slow = slow.reflection_series(CARRIER, times, state)[0, 0]
+        value_fast = fast.reflection_series(CARRIER, times, state)[0, 0]
+        assert value_slow != value_fast
+
+
+class TestModulationSpectrum:
+    def test_wiforce_tones_present(self, tag):
+        offsets, spectrum = tag.modulation_spectrum(900e6,
+                                                    TagState(3.0, 0.04))
+        def tone_db(f):
+            index = int(np.argmin(np.abs(offsets - f)))
+            return 20 * np.log10(abs(spectrum[index]) + 1e-18)
+        floor = np.median(20 * np.log10(np.abs(spectrum) + 1e-18))
+        assert tone_db(1e3) > floor + 40.0
+        assert tone_db(4e3) > floor + 40.0
+
+    def test_dc_dominated_by_static_reflection(self, tag):
+        offsets, spectrum = tag.modulation_spectrum(900e6, TagState())
+        dc = abs(spectrum[int(np.argmin(np.abs(offsets)))])
+        assert dc > 0.0
+
+    def test_naive_scheme_produces_intermod_tones(self, transducer):
+        """The naive tag smears energy into 3 kHz (fs1+fs2 mixing)."""
+        tag = WiForceTag(transducer, clocking=naive_clocking(1e3))
+        offsets, spectrum = tag.modulation_spectrum(900e6, TagState())
+        def tone(f):
+            return abs(spectrum[int(np.argmin(np.abs(offsets - f)))])
+        assert tone(3e3) > 1e-4
+
+    def test_spectrum_frequencies_sorted(self, tag):
+        offsets, _ = tag.modulation_spectrum(900e6, TagState())
+        assert np.all(np.diff(offsets) > 0)
+
+
+class TestTagProperties:
+    def test_transducer_exposed(self, tag, transducer):
+        assert tag.transducer is transducer
+
+    def test_default_clocking_validates(self, tag):
+        tag.clocking.validate()
+
+    def test_antenna_gain_default(self, tag):
+        assert tag.antenna_gain_dbi == pytest.approx(2.0)

@@ -1,0 +1,90 @@
+"""2-D continuum extension tests (paper section 7)."""
+
+import numpy as np
+import pytest
+
+from repro.channel.propagation import BackscatterLink
+from repro.core.pipeline import WiForceReader
+from repro.core.twodim import ArraySensorPlacement, TwoDimensionalArray
+from repro.errors import ConfigurationError
+from repro.experiments.scenarios import calibrated_model, fast_transducer
+from repro.reader.sounder import FrameLevelSounder
+from repro.reader.waveform import OFDMSounderConfig
+from repro.sensor.clock import wiforce_clocking
+from repro.sensor.tag import WiForceTag
+
+
+def make_reader(base_clock, seed):
+    rng = np.random.default_rng(seed)
+    transducer = fast_transducer()
+    tag = WiForceTag(transducer, clocking=wiforce_clocking(base_clock))
+    config = OFDMSounderConfig(carrier_frequency=900e6)
+    sounder = FrameLevelSounder(config, tag, BackscatterLink(), rng=rng)
+    model = calibrated_model(900e6, fast=True)
+    return WiForceReader(sounder, model, groups_per_capture=2)
+
+
+@pytest.fixture(scope="module")
+def array():
+    strips = [
+        ArraySensorPlacement(make_reader(1e3, 1), offset_y=0.0),
+        ArraySensorPlacement(make_reader(0.8e3, 2), offset_y=8e-3),
+    ]
+    grid = TwoDimensionalArray(strips, coupling_width=8e-3)
+    grid.capture_baselines()
+    return grid
+
+
+class TestConstruction:
+    def test_requires_two_strips(self):
+        with pytest.raises(ConfigurationError):
+            TwoDimensionalArray(
+                [ArraySensorPlacement(make_reader(1e3, 9), 0.0)])
+
+    def test_rejects_duplicate_clocks(self):
+        strips = [
+            ArraySensorPlacement(make_reader(1e3, 3), 0.0),
+            ArraySensorPlacement(make_reader(1e3, 4), 8e-3),
+        ]
+        with pytest.raises(ConfigurationError):
+            TwoDimensionalArray(strips)
+
+    def test_rejects_unsorted_offsets(self):
+        strips = [
+            ArraySensorPlacement(make_reader(1e3, 5), 8e-3),
+            ArraySensorPlacement(make_reader(0.8e3, 6), 0.0),
+        ]
+        with pytest.raises(ConfigurationError):
+            TwoDimensionalArray(strips)
+
+
+class TestForceSharing:
+    def test_on_strip_full_share(self, array):
+        assert array.force_share(0.0, 0.0) == pytest.approx(1.0)
+
+    def test_share_decays_with_distance(self, array):
+        assert array.force_share(4e-3, 0.0) == pytest.approx(0.5)
+        assert array.force_share(8e-3, 0.0) == pytest.approx(0.0)
+
+
+class TestPlanarEstimation:
+    def test_press_on_strip(self, array):
+        estimate = array.press(4.0, x=0.040, y=0.0)
+        assert estimate.force == pytest.approx(4.0, abs=0.8)
+        assert estimate.x == pytest.approx(0.040, abs=2e-3)
+        assert estimate.y == pytest.approx(0.0, abs=2e-3)
+
+    def test_press_between_strips(self, array):
+        """The no-man's-land interpolation case from the paper."""
+        estimate = array.press(6.0, x=0.045, y=4e-3)
+        assert estimate.y == pytest.approx(4e-3, abs=2e-3)
+        assert estimate.x == pytest.approx(0.045, abs=2.5e-3)
+        assert estimate.force == pytest.approx(6.0, abs=1.5)
+
+    def test_rejects_press_outside_coupling(self, array):
+        with pytest.raises(Exception):
+            array.press(3.0, x=0.040, y=0.1)
+
+    def test_rejects_negative_force(self, array):
+        with pytest.raises(Exception):
+            array.press(-1.0, x=0.040, y=0.0)

@@ -1,0 +1,129 @@
+"""Unit-conversion and constants tests."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import units
+
+
+class TestLengthAndFrequency:
+    def test_mm_roundtrip(self):
+        assert units.to_mm(units.mm(80.0)) == pytest.approx(80.0)
+
+    def test_mm_is_metres(self):
+        assert units.mm(1.0) == pytest.approx(1e-3)
+
+    def test_um(self):
+        assert units.um(35.0) == pytest.approx(35e-6)
+
+    def test_ghz(self):
+        assert units.ghz(2.4) == pytest.approx(2.4e9)
+
+    def test_mhz(self):
+        assert units.mhz(12.5) == pytest.approx(12.5e6)
+
+    def test_khz(self):
+        assert units.khz(195.0) == pytest.approx(195e3)
+
+    def test_us(self):
+        assert units.us(57.6) == pytest.approx(57.6e-6)
+
+
+class TestDecibels:
+    def test_db_of_ten(self):
+        assert units.db(10.0) == pytest.approx(10.0)
+
+    def test_db_of_zero_is_neg_inf(self):
+        assert units.db(0.0) == -math.inf
+
+    def test_from_db_roundtrip(self):
+        assert units.from_db(units.db(123.0)) == pytest.approx(123.0)
+
+    def test_amplitude_db_is_20log(self):
+        assert units.db_amplitude(10.0) == pytest.approx(20.0)
+
+    def test_from_db_amplitude_roundtrip(self):
+        assert units.from_db_amplitude(
+            units.db_amplitude(0.3)) == pytest.approx(0.3)
+
+    def test_dbm_zero_is_one_milliwatt(self):
+        assert units.dbm_to_watts(0.0) == pytest.approx(1e-3)
+
+    def test_dbm_roundtrip(self):
+        assert units.watts_to_dbm(units.dbm_to_watts(10.0)) == pytest.approx(10.0)
+
+    def test_watts_to_dbm_of_zero(self):
+        assert units.watts_to_dbm(0.0) == -math.inf
+
+
+class TestWavelength:
+    def test_900mhz_wavelength(self):
+        assert units.wavelength(900e6) == pytest.approx(0.333, rel=1e-2)
+
+    def test_dielectric_shortens_wavelength(self):
+        assert units.wavelength(1e9, 4.0) == pytest.approx(
+            units.wavelength(1e9) / 2.0)
+
+    def test_rejects_nonpositive_frequency(self):
+        with pytest.raises(ValueError):
+            units.wavelength(0.0)
+
+    def test_rejects_nonpositive_permittivity(self):
+        with pytest.raises(ValueError):
+            units.wavelength(1e9, 0.0)
+
+
+class TestWrapPhase:
+    def test_identity_in_range(self):
+        assert units.wrap_phase(0.5) == pytest.approx(0.5)
+
+    def test_wraps_positive(self):
+        assert units.wrap_phase(3 * math.pi) == pytest.approx(math.pi)
+
+    def test_wraps_negative(self):
+        assert units.wrap_phase(-3 * math.pi) == pytest.approx(math.pi)
+
+    @given(st.floats(min_value=-100.0, max_value=100.0))
+    def test_always_in_interval(self, angle):
+        wrapped = units.wrap_phase(angle)
+        assert -math.pi < wrapped <= math.pi
+
+    @given(st.floats(min_value=-30.0, max_value=30.0))
+    def test_wrap_preserves_angle_mod_2pi(self, angle):
+        wrapped = units.wrap_phase(angle)
+        assert math.isclose(math.cos(wrapped), math.cos(angle), abs_tol=1e-9)
+        assert math.isclose(math.sin(wrapped), math.sin(angle), abs_tol=1e-9)
+
+
+class TestThermalNoise:
+    def test_ktb_at_reference(self):
+        power = units.thermal_noise_power(1.0)
+        assert power == pytest.approx(units.BOLTZMANN * 290.0)
+
+    def test_noise_figure_scales(self):
+        base = units.thermal_noise_power(1e6)
+        with_nf = units.thermal_noise_power(1e6, noise_figure_db=3.0)
+        assert with_nf / base == pytest.approx(10 ** 0.3)
+
+    def test_bandwidth_scales_linearly(self):
+        assert units.thermal_noise_power(2e6) == pytest.approx(
+            2 * units.thermal_noise_power(1e6))
+
+    def test_rejects_nonpositive_bandwidth(self):
+        with pytest.raises(ValueError):
+            units.thermal_noise_power(0.0)
+
+
+class TestConstants:
+    def test_free_space_impedance(self):
+        assert units.ETA_0 == pytest.approx(376.73, rel=1e-4)
+
+    def test_speed_of_light(self):
+        assert units.SPEED_OF_LIGHT == pytest.approx(2.998e8, rel=1e-3)
+
+    def test_eps0_mu0_consistency(self):
+        c = 1.0 / math.sqrt(units.EPSILON_0 * units.MU_0)
+        assert c == pytest.approx(units.SPEED_OF_LIGHT, rel=1e-6)
