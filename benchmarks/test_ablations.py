@@ -7,7 +7,6 @@
 * Phase-group length: accuracy vs responsiveness.
 """
 
-import numpy as np
 
 from repro.core.harmonics import HarmonicExtractor
 from repro.core.phase import phase_stability_deg

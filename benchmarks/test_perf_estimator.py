@@ -1,0 +1,165 @@
+"""Performance benchmarks for the batched estimation engine.
+
+Two claims are tracked here so future PRs can see the trajectory:
+
+* ``ForceLocationEstimator.invert_batch`` returns exactly what the
+  scalar ``invert`` loop returns (element-wise), at a large speedup
+  (>= 5x at N=1000 on one core).
+* ``CampaignExecutor`` sharding returns exactly what the serial loop
+  returns, trading only wall-clock time.
+
+The pytest-benchmark cases give calibrated local numbers; the
+machine-readable summary in ``benchmarks/results/BENCH_estimator.json``
+is produced with plain ``time.perf_counter`` so it is also emitted by
+the CI smoke run under ``--benchmark-disable``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.estimator import ForceLocationEstimator
+from repro.experiments.montecarlo import environment_campaign
+from repro.experiments.parallel import CampaignExecutor
+from repro.experiments.scenarios import calibrated_model
+
+RESULTS_DIR = Path(__file__).parent / "results"
+BENCH_PATH = RESULTS_DIR / "BENCH_estimator.json"
+
+#: Batch size for the scalar-vs-batch comparison.
+N_SAMPLES = 1000
+
+#: Trials for the serial-vs-parallel campaign comparison (kept small:
+#: the point is the determinism and the scaling trend, not the load).
+CAMPAIGN_TRIALS = 4
+
+_report: dict = {"n_samples": N_SAMPLES, "campaign_trials": CAMPAIGN_TRIALS}
+
+
+@pytest.fixture(scope="module")
+def estimator():
+    """Estimator over the shared fast 900 MHz calibration."""
+    return ForceLocationEstimator(calibrated_model(900e6, fast=True))
+
+
+@pytest.fixture(scope="module")
+def phases(estimator):
+    """N_SAMPLES phase pairs from presses across the calibrated span."""
+    rng = np.random.default_rng(42)
+    forces = rng.uniform(0.5, 8.0, N_SAMPLES)
+    low, high = estimator.model.locations[0], estimator.model.locations[-1]
+    locations = rng.uniform(low, high, N_SAMPLES)
+    phi1, phi2 = estimator.model.predict_batch(forces, locations)
+    noise = rng.normal(0.0, np.radians(1.0), (2, N_SAMPLES))
+    return phi1 + noise[0], phi2 + noise[1]
+
+
+def _scalar_invert(estimator, phi1, phi2):
+    return [estimator.invert(float(p1), float(p2))
+            for p1, p2 in zip(phi1, phi2)]
+
+
+def _best_of(runs, fn, *args):
+    best, result = float("inf"), None
+    for _ in range(runs):
+        start = time.perf_counter()
+        result = fn(*args)
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+@pytest.fixture(scope="module", autouse=True)
+def bench_report():
+    """Write the machine-readable summary after the module finishes."""
+    yield
+    RESULTS_DIR.mkdir(exist_ok=True)
+    BENCH_PATH.write_text(json.dumps(_report, indent=2, sort_keys=True)
+                          + "\n")
+
+
+def test_batch_matches_scalar_and_speedup(estimator, phases):
+    """invert_batch == scalar loop element-wise, and >= 5x faster."""
+    phi1, phi2 = phases
+    scalar_seconds, scalar = _best_of(2, _scalar_invert, estimator,
+                                      phi1, phi2)
+    batch_seconds, batch = _best_of(3, estimator.invert_batch, phi1, phi2)
+
+    force_delta = np.max(np.abs(
+        batch.force - np.array([e.force for e in scalar])))
+    location_delta = np.max(np.abs(
+        batch.location - np.array([e.location for e in scalar])))
+    residual_delta = np.max(np.abs(
+        batch.residual - np.array([e.residual for e in scalar])))
+    assert force_delta <= 1e-9
+    assert location_delta <= 1e-9
+    assert residual_delta <= 1e-9
+    assert np.array_equal(batch.touched,
+                          np.array([e.touched for e in scalar]))
+
+    speedup = scalar_seconds / batch_seconds
+    _report.update({
+        "scalar_seconds": scalar_seconds,
+        "batch_seconds": batch_seconds,
+        "batch_speedup": speedup,
+        "max_force_delta_n": float(force_delta),
+        "max_location_delta_m": float(location_delta),
+        "max_residual_delta_rad": float(residual_delta),
+    })
+    assert speedup >= 5.0, (
+        f"invert_batch is only {speedup:.1f}x faster than the scalar "
+        f"loop at N={N_SAMPLES}; the batched engine should be >= 5x"
+    )
+
+
+def test_campaign_parallel_matches_serial():
+    """Sharded campaign == serial campaign, medians bit-for-bit."""
+    workers = 4
+    serial_seconds, serial = _best_of(
+        1, environment_campaign, CAMPAIGN_TRIALS)
+    start = time.perf_counter()
+    parallel = environment_campaign(
+        CAMPAIGN_TRIALS, executor=CampaignExecutor(workers=workers))
+    parallel_seconds = time.perf_counter() - start
+
+    assert np.array_equal(serial.force_medians, parallel.force_medians)
+    assert np.array_equal(serial.location_medians,
+                          parallel.location_medians)
+    _report["campaign"] = {
+        "workers": workers,
+        "serial_seconds": serial_seconds,
+        "parallel_seconds": parallel_seconds,
+        "parallel_speedup": serial_seconds / parallel_seconds,
+    }
+
+
+def test_perf_scalar_inversion(benchmark, estimator, phases):
+    """pytest-benchmark: the N-sample scalar loop (the old path)."""
+    phi1, phi2 = phases
+    benchmark.pedantic(_scalar_invert, args=(estimator, phi1, phi2),
+                       rounds=2, iterations=1)
+
+
+def test_perf_batch_inversion(benchmark, estimator, phases):
+    """pytest-benchmark: the one-shot batched grid search."""
+    phi1, phi2 = phases
+    benchmark.pedantic(estimator.invert_batch, args=(phi1, phi2),
+                       rounds=5, iterations=1)
+
+
+def test_perf_campaign_serial(benchmark):
+    """pytest-benchmark: the environment campaign, serial loop."""
+    benchmark.pedantic(environment_campaign, args=(CAMPAIGN_TRIALS,),
+                       kwargs={"executor": CampaignExecutor(workers=1)},
+                       rounds=1, iterations=1)
+
+
+def test_perf_campaign_parallel(benchmark):
+    """pytest-benchmark: the same campaign sharded across 4 workers."""
+    benchmark.pedantic(environment_campaign, args=(CAMPAIGN_TRIALS,),
+                       kwargs={"executor": CampaignExecutor(workers=4)},
+                       rounds=1, iterations=1)

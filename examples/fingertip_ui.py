@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import CALIBRATION_LOCATIONS, TagState
+from repro import CALIBRATION_LOCATIONS
 from repro.channel import BackscatterLink, indoor_channel
 from repro.core import WiForceReader, calibrate_harmonic_observable
 from repro.experiments.fingertip import FingertipProfile

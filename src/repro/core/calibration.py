@@ -81,6 +81,120 @@ class SensorModel:
         self._port1 = list(port1_curves)
         self._port2 = list(port2_curves)
         self.frequency = float(frequency)
+        self._tables = (self._stack_curves(self._port1),
+                        self._stack_curves(self._port2))
+
+    @staticmethod
+    def _stack_curves(
+        curves: List[CalibrationCurve],
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Stack per-location fits into (coefficients, force ranges).
+
+        Coefficients are left-padded with zeros to a common length,
+        which leaves Horner evaluation (``numpy.polyval``'s scheme)
+        unchanged; this is what lets prediction vectorize over
+        arbitrary (force, location) tensors.
+        """
+        width = max(len(curve.coefficients) for curve in curves)
+        coefficients = np.zeros((len(curves), width))
+        for index, curve in enumerate(curves):
+            coefficients[index, width - len(curve.coefficients):] = (
+                curve.coefficients)
+        ranges = np.array([curve.force_range for curve in curves])
+        return coefficients, ranges
+
+    def _segments(
+        self, locations: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-element interpolation segment index and weight."""
+        clipped = np.clip(np.asarray(locations, dtype=float),
+                          self._locations[0], self._locations[-1])
+        segment = np.clip(
+            np.searchsorted(self._locations, clipped) - 1,
+            0, self._locations.size - 2)
+        weight = (clipped - self._locations[segment]) / (
+            self._locations[segment + 1] - self._locations[segment])
+        return segment, weight
+
+    @staticmethod
+    def _curve_values(coefficients: np.ndarray, ranges: np.ndarray,
+                      segment: np.ndarray,
+                      forces: np.ndarray) -> np.ndarray:
+        """Evaluate per-element calibration curves (Horner's scheme)."""
+        clipped = np.clip(forces, ranges[segment, 0], ranges[segment, 1])
+        gathered = coefficients[segment]
+        values = np.zeros_like(clipped)
+        for power in range(gathered.shape[-1]):
+            values = values * clipped + gathered[..., power]
+        return values
+
+    def predict_batch(
+        self, forces: np.ndarray, locations: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Element-wise vectorized prediction.
+
+        ``forces`` and ``locations`` may be any broadcast-compatible
+        shapes; returns (phi1, phi2) [rad] in the broadcast shape.
+        Numerically identical to looping :meth:`predict`.
+        """
+        forces = np.asarray(forces, dtype=float)
+        if np.any(forces < 0.0):
+            raise CalibrationError("forces must be >= 0")
+        segment, weight = self._segments(locations)
+        phases = []
+        for coefficients, ranges in self._tables:
+            low = self._curve_values(coefficients, ranges, segment, forces)
+            high = self._curve_values(coefficients, ranges, segment + 1,
+                                      forces)
+            phases.append((1.0 - weight) * low + weight * high)
+        return phases[0], phases[1]
+
+    def predict_span(
+        self, forces: np.ndarray, locations: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-sample grid prediction for batched search.
+
+        ``forces`` is (N, F) — one force axis per sample — and
+        ``locations`` is (N, L); returns (phi1, phi2) shaped (N, F, L),
+        sample ``n``'s prediction over the outer product of its axes.
+        Element-wise identical to broadcasting :meth:`predict_batch`
+        over the full grids, but each calibration curve is evaluated
+        once per force axis instead of once per (force, location)
+        cell, which is what makes the batched estimator fast.
+        """
+        forces = np.asarray(forces, dtype=float)
+        locations = np.asarray(locations, dtype=float)
+        segment, weight = self._segments(locations)
+        needed = np.unique(segment)
+        needed = np.union1d(needed, needed + 1)
+        low_slot = np.searchsorted(needed, segment)[:, np.newaxis, :]
+        high_slot = np.searchsorted(needed, segment + 1)[:, np.newaxis, :]
+        blend = weight[:, np.newaxis, :]
+        phases = []
+        for coefficients, ranges in self._tables:
+            # Calibration schedules usually share one force range
+            # across locations, in which case the clip is hoisted out
+            # of the per-curve loop (identical values either way).
+            shared = bool(np.all(ranges == ranges[0]))
+            if shared:
+                clipped = np.clip(forces, ranges[0, 0], ranges[0, 1])
+            table = np.empty(forces.shape + (needed.size,))
+            for slot, curve in enumerate(needed):
+                if not shared:
+                    clipped = np.clip(forces, ranges[curve, 0],
+                                      ranges[curve, 1])
+                accum = np.full_like(clipped, coefficients[curve, 0])
+                for power in range(1, coefficients.shape[1]):
+                    accum *= clipped
+                    accum += coefficients[curve, power]
+                table[..., slot] = accum
+            low = np.take_along_axis(table, low_slot, axis=2)
+            high = np.take_along_axis(table, high_slot, axis=2)
+            # (1 - w) * low + w * high, evaluated in place.
+            np.multiply(low, 1.0 - blend, out=low)
+            np.multiply(high, blend, out=high)
+            phases.append(np.add(low, high, out=low))
+        return phases[0], phases[1]
 
     @property
     def locations(self) -> np.ndarray:
@@ -94,24 +208,13 @@ class SensorModel:
         high = min(curve.force_range[1] for curve in self._port1 + self._port2)
         return low, high
 
-    def _interpolate(self, curves: List[CalibrationCurve], force: float,
-                     location: float) -> float:
-        loc = float(np.clip(location, self._locations[0],
-                            self._locations[-1]))
-        j = int(np.searchsorted(self._locations, loc) - 1)
-        j = max(0, min(j, self._locations.size - 2))
-        t = (loc - self._locations[j]) / (
-            self._locations[j + 1] - self._locations[j])
-        low = float(curves[j].phase(force))
-        high = float(curves[j + 1].phase(force))
-        return (1.0 - t) * low + t * high
-
     def predict(self, force: float, location: float) -> Tuple[float, float]:
         """(phi1, phi2) [rad] for a press of ``force`` at ``location``."""
         if force < 0.0:
             raise CalibrationError(f"force must be >= 0, got {force}")
-        return (self._interpolate(self._port1, force, location),
-                self._interpolate(self._port2, force, location))
+        phi1, phi2 = self.predict_batch(np.asarray(force, dtype=float),
+                                        np.asarray(location, dtype=float))
+        return float(phi1), float(phi2)
 
     def predict_grid(self, forces: np.ndarray,
                      locations: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
@@ -121,20 +224,8 @@ class SensorModel:
         """
         forces = np.asarray(forces, dtype=float)
         locations = np.asarray(locations, dtype=float)
-        phi1 = np.empty((forces.size, locations.size))
-        phi2 = np.empty_like(phi1)
-        for j, raw_location in enumerate(locations):
-            loc = float(np.clip(raw_location, self._locations[0],
-                                self._locations[-1]))
-            index = int(np.searchsorted(self._locations, loc) - 1)
-            index = max(0, min(index, self._locations.size - 2))
-            t = (loc - self._locations[index]) / (
-                self._locations[index + 1] - self._locations[index])
-            for curves, target in ((self._port1, phi1), (self._port2, phi2)):
-                low = curves[index].phase(forces)
-                high = curves[index + 1].phase(forces)
-                target[:, j] = (1.0 - t) * low + t * high
-        return phi1, phi2
+        return self.predict_batch(forces[:, np.newaxis],
+                                  locations[np.newaxis, :])
 
     # -- persistence ----------------------------------------------------
 

@@ -35,11 +35,57 @@ class ForceLocationEstimate:
     touched: bool
 
 
-def _wrapped_residual(predicted: Tuple[float, float],
-                      measured: Tuple[float, float]) -> float:
-    error1 = np.angle(np.exp(1j * (measured[0] - predicted[0])))
-    error2 = np.angle(np.exp(1j * (measured[1] - predicted[1])))
-    return float(np.sqrt(0.5 * (error1 ** 2 + error2 ** 2)))
+@dataclass(frozen=True)
+class BatchForceLocationEstimate:
+    """N inverted readings as parallel arrays.
+
+    Untouched samples carry zeros in ``force``/``location``/``residual``
+    with ``touched`` False, mirroring the scalar no-contact estimate.
+
+    Attributes:
+        force: Estimated forces [N], shape (N,).
+        location: Estimated locations [m], shape (N,).
+        residual: RMS wrapped phase residuals [rad], shape (N,).
+        touched: Contact classification per sample, shape (N,).
+    """
+
+    force: np.ndarray
+    location: np.ndarray
+    residual: np.ndarray
+    touched: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.force.shape[0])
+
+    def __getitem__(self, index: int) -> ForceLocationEstimate:
+        return ForceLocationEstimate(
+            force=float(self.force[index]),
+            location=float(self.location[index]),
+            residual=float(self.residual[index]),
+            touched=bool(self.touched[index]),
+        )
+
+    def __iter__(self):
+        for index in range(len(self)):
+            yield self[index]
+
+
+def _wrapped_error(shifted_measured, predicted: np.ndarray,
+                   out: Optional[np.ndarray] = None) -> np.ndarray:
+    """Wrapped (measured - predicted) phase error on [-pi, pi).
+
+    ``shifted_measured`` is the measured phase pre-offset by +pi, so
+    the wrap costs one pass over the prediction grid.  Arithmetic
+    equivalent of ``angle(exp(1j*(measured - predicted)))`` up to the
+    sign of the +/-pi branch point, which the squared cost cannot see,
+    at a fraction of the transcendental cost.  Both search paths must
+    use this same formula so batch and scalar inversion stay
+    bit-identical.  ``out`` may alias ``predicted`` to work in place.
+    """
+    out = np.subtract(shifted_measured, predicted, out=out)
+    np.remainder(out, 2.0 * np.pi, out=out)
+    np.subtract(out, np.pi, out=out)
+    return out
 
 
 class ForceLocationEstimator:
@@ -74,9 +120,9 @@ class ForceLocationEstimator:
         forces = np.linspace(force_span[0], force_span[1], points)
         locations = np.linspace(location_span[0], location_span[1], points)
         phi1, phi2 = self.model.predict_grid(forces, locations)
-        error1 = np.angle(np.exp(1j * (measured[0] - phi1)))
-        error2 = np.angle(np.exp(1j * (measured[1] - phi2)))
-        cost = 0.5 * (error1 ** 2 + error2 ** 2)
+        error1 = _wrapped_error(measured[0] + np.pi, phi1)
+        error2 = _wrapped_error(measured[1] + np.pi, phi2)
+        cost = 0.5 * (error1 * error1 + error2 * error2)
         index = np.unravel_index(int(np.argmin(cost)), cost.shape)
         best_force = float(forces[index[0]])
         best_location = float(locations[index[1]])
@@ -122,3 +168,125 @@ class ForceLocationEstimator:
                                      location_span, 21)
         return ForceLocationEstimate(force=best[0], location=best[1],
                                      residual=best[2], touched=True)
+
+    def _batch_grid_search(
+        self, shifted1: np.ndarray, shifted2: np.ndarray,
+        force_low: np.ndarray, force_high: np.ndarray,
+        location_low: np.ndarray, location_high: np.ndarray,
+        points: int,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """One grid-search stage over N samples with per-sample spans.
+
+        ``shifted1`` / ``shifted2`` are the measured phases pre-offset
+        by +pi (see :func:`_wrapped_error`).  Builds one
+        (N, points, points) wrapped-residual tensor via the model's
+        per-sample grid prediction; the flattened per-sample argmin
+        uses C order, matching the scalar search's tie-breaking.
+        """
+        forces = np.linspace(force_low, force_high, points, axis=-1)
+        locations = np.linspace(location_low, location_high, points,
+                                axis=-1)
+        if (force_low[0] == force_low).all() \
+                and (force_high[0] == force_high).all() \
+                and (location_low[0] == location_low).all() \
+                and (location_high[0] == location_high).all():
+            # All samples share one span (the hint-free coarse stage):
+            # predict a single (points, points) grid and broadcast it
+            # against the batch instead of predicting N copies.
+            grid1, grid2 = self.model.predict_grid(forces[0], locations[0])
+            error1 = _wrapped_error(shifted1[:, np.newaxis, np.newaxis],
+                                    grid1[np.newaxis, :, :])
+            error2 = _wrapped_error(shifted2[:, np.newaxis, np.newaxis],
+                                    grid2[np.newaxis, :, :])
+        else:
+            grid1, grid2 = self.model.predict_span(forces, locations)
+            # The grids are freshly allocated; wrap in place.
+            error1 = _wrapped_error(shifted1[:, np.newaxis, np.newaxis],
+                                    grid1, out=grid1)
+            error2 = _wrapped_error(shifted2[:, np.newaxis, np.newaxis],
+                                    grid2, out=grid2)
+        np.multiply(error1, error1, out=error1)
+        np.multiply(error2, error2, out=error2)
+        # argmin over e1^2 + e2^2: the scalar path's 0.5 factor is an
+        # exact, monotone scale, so the minimiser (ties included) is
+        # unchanged and the factor is applied to the winner only.
+        score = np.add(error1, error2, out=error1).reshape(shifted1.size,
+                                                           -1)
+        flat = np.argmin(score, axis=1)
+        rows = np.arange(shifted1.size)
+        best_force = forces[rows, flat // points]
+        best_location = locations[rows, flat % points]
+        return best_force, best_location, np.sqrt(0.5 * score[rows, flat])
+
+    def invert_batch(self, phi1: np.ndarray, phi2: np.ndarray,
+                     location_hint: Optional[np.ndarray] = None
+                     ) -> BatchForceLocationEstimate:
+        """Estimate (force, location) for N phase pairs at once.
+
+        Vectorizes the coarse-plus-zoom search of :meth:`invert` over
+        the whole batch: each stage evaluates a single broadcast
+        residual tensor instead of N Python-level grid searches.  The
+        search schedule is identical to the scalar path, so results
+        match :meth:`invert` element-wise.
+
+        Args:
+            phi1 / phi2: Measured differential phases [rad], shape (N,)
+                (broadcast-compatible shapes are accepted).
+            location_hint: Optional prior location(s) [m] — a scalar or
+                shape-(N,) array; restricts each sample's initial
+                search to +/- 10 mm around its hint.
+        """
+        phi1 = np.atleast_1d(np.asarray(phi1, dtype=float))
+        phi2 = np.atleast_1d(np.asarray(phi2, dtype=float))
+        phi1, phi2 = np.broadcast_arrays(phi1, phi2)
+        if phi1.ndim != 1:
+            raise EstimationError(
+                f"phase batches must be 1-D, got shape {phi1.shape}"
+            )
+        count = phi1.shape[0]
+        touched = ~((np.abs(phi1) < self.touch_threshold)
+                    & (np.abs(phi2) < self.touch_threshold))
+        force = np.zeros(count)
+        location = np.zeros(count)
+        residual = np.zeros(count)
+        active = np.flatnonzero(touched)
+        if active.size:
+            force_low, force_high = self.model.force_range
+            calibrated = self.model.locations
+            location_low = np.full(active.size, float(calibrated[0]))
+            location_high = np.full(active.size, float(calibrated[-1]))
+            if location_hint is not None:
+                hint = np.broadcast_to(
+                    np.atleast_1d(np.asarray(location_hint, dtype=float)),
+                    (count,))[active]
+                location_low = np.maximum(location_low, hint - 10e-3)
+                location_high = np.minimum(location_high, hint + 10e-3)
+                if np.any(location_low >= location_high):
+                    raise EstimationError(
+                        "location hint lies outside the calibrated span"
+                    )
+            measured1 = phi1[active] + np.pi
+            measured2 = phi2[active] + np.pi
+            span_force_low = np.full(active.size, force_low)
+            span_force_high = np.full(active.size, force_high)
+            best = self._batch_grid_search(
+                measured1, measured2, span_force_low, span_force_high,
+                location_low, location_high, 25)
+            for zoom in (0.15, 0.03):
+                force_radius = zoom * (force_high - force_low)
+                location_radius = zoom * (location_high - location_low)
+                span_force_low = np.maximum(force_low,
+                                            best[0] - force_radius)
+                span_force_high = np.minimum(force_high,
+                                             best[0] + force_radius)
+                span_location_low = np.maximum(location_low,
+                                               best[1] - location_radius)
+                span_location_high = np.minimum(location_high,
+                                                best[1] + location_radius)
+                best = self._batch_grid_search(
+                    measured1, measured2, span_force_low, span_force_high,
+                    span_location_low, span_location_high, 21)
+            force[active], location[active], residual[active] = best
+        return BatchForceLocationEstimate(force=force, location=location,
+                                          residual=residual,
+                                          touched=touched)

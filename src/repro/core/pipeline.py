@@ -18,7 +18,7 @@ immediately before the press (the paper's before/after differential).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -193,15 +193,20 @@ class WiForceReader:
         """
         if rebaseline or self._baseline is None:
             self.capture_baseline()
+        phi1, phi2 = self._measure_phases(state)
+        estimate = self.estimator.invert(phi1, phi2,
+                                         location_hint=location_hint)
+        return PressReading(phi1=phi1, phi2=phi2, estimate=estimate)
+
+    def _measure_phases(self, state: TagState) -> Tuple[float, float]:
+        """One capture's differential phase pair against the baseline."""
         assert self._baseline is not None
         harmonics = self.capture_harmonics(state)
         tone1 = self.extractor.tones[0]
         tone2 = self.extractor.tones[1]
         phi1 = differential_phase(self._baseline[tone1], harmonics[tone1])
         phi2 = differential_phase(self._baseline[tone2], harmonics[tone2])
-        estimate = self.estimator.invert(phi1, phi2,
-                                         location_hint=location_hint)
-        return PressReading(phi1=phi1, phi2=phi2, estimate=estimate)
+        return phi1, phi2
 
     @property
     def baseline_phase_noise(self) -> Dict[float, float]:
@@ -242,8 +247,19 @@ class WiForceReader:
         """Read a timeline of press states (e.g. a fingertip profile).
 
         The baseline is captured once up front; drift correction keeps
-        the reference valid across the sequence.
+        the reference valid across the sequence.  Captures run
+        sequentially (the sounder clock is stateful) but the model
+        inversions run as one batched grid search.
         """
         if self._baseline is None:
             self.capture_baseline()
-        return [self.read(state) for state in states]
+        phases = [self._measure_phases(state) for state in states]
+        if not phases:
+            return []
+        phi1 = np.array([pair[0] for pair in phases])
+        phi2 = np.array([pair[1] for pair in phases])
+        estimates = self.estimator.invert_batch(phi1, phi2)
+        return [
+            PressReading(phi1=pair[0], phi2=pair[1], estimate=estimate)
+            for pair, estimate in zip(phases, estimates)
+        ]

@@ -118,32 +118,40 @@ class StreamingTracker:
             references[tone] = (head * rotation[:, None]).mean(axis=0)
             drifts[tone] = drift
 
-        samples: List[TrackedSample] = []
-        for g in range(groups):
-            phis = []
-            for tone in (tone1, tone2):
-                matrix = matrices[tone]
-                rotation = np.exp(-1j * drifts[tone]
-                                  * (times[g] - times[0]))
-                vector = matrix.values[g] * rotation
-                phis.append(differential_phase(references[tone], vector))
-            phi1, phi2 = phis
-            touched = (abs(phi1) > self.touch_threshold
-                       or abs(phi2) > self.touch_threshold)
-            if touched:
-                try:
-                    estimate = self.estimator.invert(phi1, phi2)
-                    force = estimate.force
-                    location = estimate.location
-                    touched = estimate.touched
-                except EstimationError:
-                    force, location, touched = 0.0, 0.0, False
-            else:
-                force, location = 0.0, 0.0
-            samples.append(TrackedSample(
-                time=float(times[g]), phi1=float(phi1), phi2=float(phi2),
-                touched=touched, force=force, location=location))
-        return samples
+        # Per-tone phases for every group at once: de-rotate the drift,
+        # conjugate against the reference and take the coherent
+        # subcarrier average — Eqns. 4-5 vectorized over groups.
+        tone_phases = []
+        for tone in (tone1, tone2):
+            matrix = matrices[tone]
+            rotation = np.exp(-1j * drifts[tone] * (times - times[0]))
+            vectors = matrix.values * rotation[:, None]
+            products = vectors * np.conj(references[tone])[None, :]
+            totals = products.sum(axis=1)
+            if np.any(totals == 0):
+                raise EstimationError(
+                    "zero harmonic energy: no sensor signal found"
+                )
+            tone_phases.append(np.angle(totals))
+        phi1, phi2 = tone_phases
+        touched = ((np.abs(phi1) > self.touch_threshold)
+                   | (np.abs(phi2) > self.touch_threshold))
+        force = np.zeros(groups)
+        location = np.zeros(groups)
+        active = np.flatnonzero(touched)
+        if active.size:
+            estimates = self.estimator.invert_batch(phi1[active],
+                                                    phi2[active])
+            force[active] = estimates.force
+            location[active] = estimates.location
+            touched[active] = estimates.touched
+        return [
+            TrackedSample(
+                time=float(times[g]), phi1=float(phi1[g]),
+                phi2=float(phi2[g]), touched=bool(touched[g]),
+                force=float(force[g]), location=float(location[g]))
+            for g in range(groups)
+        ]
 
     @staticmethod
     def touch_events(samples: List[TrackedSample],

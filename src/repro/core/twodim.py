@@ -11,7 +11,7 @@ extension: sensor placements on a plane, per-strip readers, and a 2-D
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 

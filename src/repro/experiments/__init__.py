@@ -7,9 +7,16 @@ index mapping figures/tables to runners.
 """
 
 from repro.experiments.metrics import (
+    batch_absolute_errors,
+    batch_error_summary,
     empirical_cdf,
     median_absolute_error,
     percentile_absolute_error,
+)
+from repro.experiments.parallel import (
+    CampaignExecution,
+    CampaignExecutor,
+    resolve_workers,
 )
 from repro.experiments.scenarios import (
     default_transducer,
@@ -18,12 +25,17 @@ from repro.experiments.scenarios import (
     build_wireless_scenario,
 )
 from repro.experiments.figures import ascii_cdf, ascii_histogram, ascii_plot
-from repro.experiments import montecarlo, runners, sweeps
+from repro.experiments import montecarlo, parallel, runners, sweeps
 
 __all__ = [
+    "batch_absolute_errors",
+    "batch_error_summary",
     "empirical_cdf",
     "median_absolute_error",
     "percentile_absolute_error",
+    "CampaignExecution",
+    "CampaignExecutor",
+    "resolve_workers",
     "default_transducer",
     "fast_transducer",
     "thin_trace_transducer",
@@ -32,6 +44,7 @@ __all__ = [
     "ascii_histogram",
     "ascii_plot",
     "montecarlo",
+    "parallel",
     "runners",
     "sweeps",
 ]

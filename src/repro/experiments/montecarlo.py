@@ -4,12 +4,17 @@ The paper evaluates "in different indoor environments" (section 5);
 these campaigns quantify that: re-run the accuracy protocol across many
 random multipath draws, and separately across fabricated sensor units
 (calibration-transfer study), reporting the distribution of medians.
+
+Every trial is a module-level function seeded entirely by its
+arguments, so campaigns shard across a
+:class:`repro.experiments.parallel.CampaignExecutor` without changing
+a single bit of the output.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -19,10 +24,10 @@ from repro.core.pipeline import WiForceReader
 from repro.channel.multipath import indoor_channel
 from repro.channel.propagation import BackscatterLink
 from repro.experiments.metrics import median_absolute_error
+from repro.experiments.parallel import CampaignExecutor
 from repro.experiments.scenarios import (
     build_wireless_scenario,
     calibrated_model,
-    fast_transducer,
 )
 from repro.mechanics.indenter import GroundTruthRig
 from repro.reader.sounder import FrameLevelSounder
@@ -75,29 +80,84 @@ def _protocol(reader: WiForceReader,
             median_absolute_error(location_errors))
 
 
-def environment_campaign(trials: int = 8, carrier: float = 900e6,
-                         fast: bool = True, seed: int = 101
-                         ) -> CampaignResult:
-    """Accuracy across random indoor environments (clutter draws)."""
-    force_medians = []
-    location_medians = []
-    for trial in range(trials):
-        rng = np.random.default_rng(seed + trial)
-        reader = build_wireless_scenario(carrier, seed=seed + trial,
-                                         fast=fast)
-        force, location = _protocol(reader, rng)
-        force_medians.append(force)
-        location_medians.append(location)
+def _environment_trial(trial: int, carrier: float, fast: bool,
+                       seed: int) -> Tuple[float, float]:
+    """One environment draw: fresh clutter, fresh rig, same protocol."""
+    rng = np.random.default_rng(seed + trial)
+    reader = build_wireless_scenario(carrier, seed=seed + trial, fast=fast)
+    return _protocol(reader, rng)
+
+
+def _fabricated_unit(unit: int, carrier: float, seed: int,
+                     tolerances: FabricationTolerances
+                     ) -> Tuple[WiForceTag, FrameLevelSounder,
+                                np.random.Generator]:
+    """Fabricate and deploy one toleranced unit (shared by both
+    unit campaigns; keeps their rng draw sequences identical)."""
+    rng = np.random.default_rng(seed + unit)
+    design = perturbed_design(tolerances=tolerances, rng=rng)
+    transducer = ForceTransducer(design, force_points=16,
+                                 location_points=17)
+    tag = WiForceTag(transducer, clock_offset_ppm=20.0)
+    config = OFDMSounderConfig(carrier_frequency=carrier)
+    sounder = FrameLevelSounder(config, tag, BackscatterLink(),
+                                indoor_channel(carrier, rng=rng),
+                                rng=rng)
+    return tag, sounder, rng
+
+
+def _transfer_trial(unit: int, carrier: float, seed: int,
+                    tolerances: FabricationTolerances
+                    ) -> Tuple[float, float]:
+    """One toleranced unit read with the nominal calibration."""
+    _, sounder, rng = _fabricated_unit(unit, carrier, seed, tolerances)
+    nominal_model = calibrated_model(carrier, fast=True)
+    reader = WiForceReader(sounder, nominal_model)
+    return _protocol(reader, rng)
+
+
+def _per_unit_trial(unit: int, carrier: float, seed: int,
+                    tolerances: FabricationTolerances
+                    ) -> Tuple[float, float]:
+    """One toleranced unit read with its own calibration."""
+    tag, sounder, rng = _fabricated_unit(unit, carrier, seed, tolerances)
+    model = calibrate_harmonic_observable(
+        tag, carrier, (0.020, 0.030, 0.040, 0.050, 0.060),
+        np.linspace(0.5, 8.0, 12))
+    reader = WiForceReader(sounder, model)
+    reader.estimator = ForceLocationEstimator(model)
+    return _protocol(reader, rng)
+
+
+def _campaign(label: str, trial, argument_lists,
+              executor: Optional[CampaignExecutor]) -> CampaignResult:
+    execution = (executor or CampaignExecutor()).run(trial, argument_lists)
+    if execution.results:
+        force_medians, location_medians = zip(*execution.results)
+    else:
+        force_medians, location_medians = (), ()
     return CampaignResult(
-        label="environment",
+        label=label,
         force_medians=np.array(force_medians),
         location_medians=np.array(location_medians),
     )
 
 
+def environment_campaign(trials: int = 8, carrier: float = 900e6,
+                         fast: bool = True, seed: int = 101,
+                         executor: Optional[CampaignExecutor] = None
+                         ) -> CampaignResult:
+    """Accuracy across random indoor environments (clutter draws)."""
+    return _campaign(
+        "environment", _environment_trial,
+        [(trial, carrier, fast, seed) for trial in range(trials)],
+        executor)
+
+
 def calibration_transfer_campaign(
     units: int = 4, carrier: float = 900e6, seed: int = 211,
     tolerances: FabricationTolerances = FabricationTolerances(),
+    executor: Optional[CampaignExecutor] = None,
 ) -> CampaignResult:
     """Read *toleranced* units with the *nominal* unit's calibration.
 
@@ -106,33 +166,16 @@ def calibration_transfer_campaign(
     zero-per-unit-calibration scenario.  The residual error quantifies
     how much per-unit trimming buys.
     """
-    nominal_model = calibrated_model(carrier, fast=True)
-    force_medians = []
-    location_medians = []
-    for unit in range(units):
-        rng = np.random.default_rng(seed + unit)
-        design = perturbed_design(tolerances=tolerances, rng=rng)
-        transducer = ForceTransducer(design, force_points=16,
-                                     location_points=17)
-        tag = WiForceTag(transducer, clock_offset_ppm=20.0)
-        config = OFDMSounderConfig(carrier_frequency=carrier)
-        sounder = FrameLevelSounder(config, tag, BackscatterLink(),
-                                    indoor_channel(carrier, rng=rng),
-                                    rng=rng)
-        reader = WiForceReader(sounder, nominal_model)
-        force, location = _protocol(reader, rng)
-        force_medians.append(force)
-        location_medians.append(location)
-    return CampaignResult(
-        label="calibration-transfer",
-        force_medians=np.array(force_medians),
-        location_medians=np.array(location_medians),
-    )
+    return _campaign(
+        "calibration-transfer", _transfer_trial,
+        [(unit, carrier, seed, tolerances) for unit in range(units)],
+        executor)
 
 
 def per_unit_calibration_campaign(
     units: int = 4, carrier: float = 900e6, seed: int = 211,
     tolerances: FabricationTolerances = FabricationTolerances(),
+    executor: Optional[CampaignExecutor] = None,
 ) -> CampaignResult:
     """The same toleranced units, each with its own calibration.
 
@@ -141,28 +184,7 @@ def per_unit_calibration_campaign(
     Uses the same seeds as :func:`calibration_transfer_campaign` so the
     two are unit-for-unit comparable.
     """
-    force_medians = []
-    location_medians = []
-    for unit in range(units):
-        rng = np.random.default_rng(seed + unit)
-        design = perturbed_design(tolerances=tolerances, rng=rng)
-        transducer = ForceTransducer(design, force_points=16,
-                                     location_points=17)
-        tag = WiForceTag(transducer, clock_offset_ppm=20.0)
-        model = calibrate_harmonic_observable(
-            tag, carrier, (0.020, 0.030, 0.040, 0.050, 0.060),
-            np.linspace(0.5, 8.0, 12))
-        config = OFDMSounderConfig(carrier_frequency=carrier)
-        sounder = FrameLevelSounder(config, tag, BackscatterLink(),
-                                    indoor_channel(carrier, rng=rng),
-                                    rng=rng)
-        reader = WiForceReader(sounder, model)
-        reader.estimator = ForceLocationEstimator(model)
-        force, location = _protocol(reader, rng)
-        force_medians.append(force)
-        location_medians.append(location)
-    return CampaignResult(
-        label="per-unit-calibration",
-        force_medians=np.array(force_medians),
-        location_medians=np.array(location_medians),
-    )
+    return _campaign(
+        "per-unit-calibration", _per_unit_trial,
+        [(unit, carrier, seed, tolerances) for unit in range(units)],
+        executor)

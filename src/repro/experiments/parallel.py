@@ -1,0 +1,156 @@
+"""Parallel campaign execution across worker processes.
+
+The evaluation campaigns are embarrassingly parallel: every trial
+builds its own scenario from an explicit per-trial seed, so execution
+order and placement cannot change the numbers.  :class:`CampaignExecutor`
+exploits that — it shards a trial list across a
+``concurrent.futures.ProcessPoolExecutor`` and guarantees the results
+are bit-for-bit what a serial loop would produce.
+
+Rules for trial functions:
+
+* They must be **module-level** callables (picklable by reference),
+  with picklable positional arguments.
+* All randomness must derive from the trial's own arguments (e.g.
+  ``np.random.default_rng(seed + trial)``) — never from shared state.
+
+Worker count resolution: an explicit ``workers`` argument wins,
+otherwise the ``REPRO_WORKERS`` environment variable, otherwise 1
+(serial).  Serial execution is also the graceful fallback whenever a
+process pool cannot be used (unpicklable work, sandboxed interpreter,
+broken pool).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Environment variable consulted when ``workers`` is not given.
+WORKERS_ENV = "REPRO_WORKERS"
+
+
+@dataclass(frozen=True)
+class CampaignExecution:
+    """One campaign run: ordered results plus execution telemetry.
+
+    Attributes:
+        results: Per-trial return values, in submission order.
+        mode: ``"parallel"`` or ``"serial"`` (how it actually ran).
+        workers: Worker processes used (1 for serial).
+        wall_seconds: End-to-end wall-clock time.
+        trial_seconds: Per-trial execution time, in submission order.
+        fallback_reason: Why a requested parallel run fell back to
+            serial (empty when it did not).
+    """
+
+    results: List[Any]
+    mode: str
+    workers: int
+    wall_seconds: float
+    trial_seconds: Tuple[float, ...]
+    fallback_reason: str = ""
+
+    def summary(self) -> str:
+        """One-line progress/timing summary for logs."""
+        trials = len(self.results)
+        mean = (sum(self.trial_seconds) / trials) if trials else 0.0
+        line = (f"{trials} trials in {self.wall_seconds:.2f} s "
+                f"({self.mode}, {self.workers} worker"
+                f"{'s' if self.workers != 1 else ''}, "
+                f"mean trial {mean:.2f} s)")
+        if self.fallback_reason:
+            line += f" [fell back to serial: {self.fallback_reason}]"
+        return line
+
+
+def _timed_call(payload: Tuple[Callable[..., Any], Sequence[Any]]
+                ) -> Tuple[Any, float]:
+    """Run one trial and measure it (module-level, so it pickles)."""
+    trial, arguments = payload
+    start = time.perf_counter()
+    result = trial(*arguments)
+    return result, time.perf_counter() - start
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Explicit argument, else ``REPRO_WORKERS``, else 1 (serial)."""
+    if workers is None:
+        raw = os.environ.get(WORKERS_ENV, "").strip()
+        if raw:
+            try:
+                workers = int(raw)
+            except ValueError:
+                raise ConfigurationError(
+                    f"{WORKERS_ENV} must be an integer, got {raw!r}"
+                )
+        else:
+            workers = 1
+    if workers < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    return int(workers)
+
+
+class CampaignExecutor:
+    """Shards deterministic trials across worker processes.
+
+    Args:
+        workers: Worker processes; ``None`` resolves via
+            :func:`resolve_workers`.  1 means serial execution.
+
+    Because every trial seeds its own generators from its arguments,
+    a parallel run returns exactly what the serial loop would — the
+    executor only changes wall-clock time, never results.
+    """
+
+    def __init__(self, workers: Optional[int] = None):
+        self.workers = resolve_workers(workers)
+
+    def run(self, trial: Callable[..., Any],
+            argument_lists: Sequence[Sequence[Any]]) -> CampaignExecution:
+        """Execute ``trial(*args)`` for every args tuple, in order.
+
+        Falls back to a serial loop (recording the reason) when the
+        process pool cannot run the work — unpicklable callables,
+        sandboxed interpreters, or a broken pool.
+        """
+        payloads = [(trial, tuple(arguments))
+                    for arguments in argument_lists]
+        start = time.perf_counter()
+        if self.workers > 1 and payloads:
+            try:
+                with ProcessPoolExecutor(max_workers=self.workers) as pool:
+                    timed = list(pool.map(_timed_call, payloads))
+                return self._execution(timed, "parallel", self.workers,
+                                       start)
+            except (pickle.PicklingError, AttributeError, TypeError,
+                    BrokenProcessPool, OSError) as exc:
+                reason = f"{type(exc).__name__}: {exc}"
+        else:
+            reason = ""
+        timed = [_timed_call(payload) for payload in payloads]
+        return self._execution(timed, "serial", 1, start, reason)
+
+    def map(self, trial: Callable[..., Any],
+            argument_lists: Sequence[Sequence[Any]]) -> List[Any]:
+        """Like :meth:`run` but returns just the ordered results."""
+        return self.run(trial, argument_lists).results
+
+    @staticmethod
+    def _execution(timed: List[Tuple[Any, float]], mode: str, workers: int,
+                   start: float, reason: str = "") -> CampaignExecution:
+        return CampaignExecution(
+            results=[result for result, _ in timed],
+            mode=mode,
+            workers=workers,
+            wall_seconds=time.perf_counter() - start,
+            trial_seconds=tuple(seconds for _, seconds in timed),
+            fallback_reason=reason,
+        )

@@ -12,10 +12,8 @@ import time
 from pathlib import Path
 from typing import List, Union
 
-import numpy as np
 
 from repro.experiments import runners
-from repro.experiments.metrics import median_absolute_error
 
 
 def _fig04(fast: bool) -> List[str]:

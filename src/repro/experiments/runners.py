@@ -29,6 +29,7 @@ from repro.core.pipeline import WiForceReader
 from repro.errors import DynamicRangeError
 from repro.experiments.fingertip import FingertipProfile
 from repro.experiments.metrics import median_absolute_error
+from repro.experiments.parallel import CampaignExecutor
 from repro.experiments.scenarios import (
     EVALUATION_LOCATIONS,
     build_wireless_scenario,
@@ -293,7 +294,6 @@ def run_table1(carrier: float = 900e6, fast: bool = True,
                seed: Optional[int] = 11) -> Table1Result:
     """Table 1: wireless phases track VNA/model curves at 20/40/55/60 mm."""
     transducer = _transducer(fast)
-    tag = WiForceTag(transducer)
     model = calibrated_model(carrier, fast=fast)
     reader = build_wireless_scenario(carrier, seed=seed, fast=fast)
     reader.capture_baseline()
@@ -569,35 +569,45 @@ def _stability_for_link(link: BackscatterLink, tag: WiForceTag,
     return phase_stability_deg(matrix)
 
 
+def _distance_trial(rng_seed: int, tx_to_tag: float, tag_to_rx: float,
+                    tx_to_rx: float, carrier: float, fast: bool,
+                    groups: int) -> float:
+    """One geometry's phase stability (module-level so it shards)."""
+    transducer = _transducer(fast)
+    tag = WiForceTag(transducer, clock_offset_ppm=20.0)
+    link = BackscatterLink(tx_to_tag=tx_to_tag, tag_to_rx=tag_to_rx,
+                           tx_to_rx=tx_to_rx)
+    return _stability_for_link(link, tag, carrier, groups,
+                               np.random.default_rng(rng_seed))
+
+
 def run_distance(fast: bool = True, carrier: float = 900e6,
                  tx_rx_separation: float = 4.0,
                  positions: Sequence[float] = (1.0, 1.5, 2.0),
                  separations: Sequence[float] = (2.0, 4.0, 10.0, 30.0),
-                 groups: int = 8, seed: int = 3) -> DistanceResult:
+                 groups: int = 8, seed: int = 3,
+                 executor: Optional[CampaignExecutor] = None
+                 ) -> DistanceResult:
     """Fig. 18: sensor swept along a 4 m TX..RX line, plus a total-range
-    sweep with the sensor at the midpoint (the up-to-5 m reach claim)."""
-    transducer = _transducer(fast)
-    tag = WiForceTag(transducer, clock_offset_ppm=20.0)
-    stabilities = []
-    for index, from_rx in enumerate(positions):
-        rng = np.random.default_rng(seed + index)
-        link = BackscatterLink(
-            tx_to_tag=tx_rx_separation - from_rx,
-            tag_to_rx=from_rx,
-            tx_to_rx=tx_rx_separation,
-        )
-        stabilities.append(_stability_for_link(link, tag, carrier, groups,
-                                               rng))
-    range_stabilities = []
-    for index, separation in enumerate(separations):
-        rng = np.random.default_rng(seed + 100 + index)
-        link = BackscatterLink(
-            tx_to_tag=separation / 2.0,
-            tag_to_rx=separation / 2.0,
-            tx_to_rx=separation,
-        )
-        range_stabilities.append(_stability_for_link(link, tag, carrier,
-                                                     groups, rng))
+    sweep with the sensor at the midpoint (the up-to-5 m reach claim).
+
+    Both sweeps run through one :class:`CampaignExecutor` batch; every
+    geometry is seeded independently so sharding cannot change the
+    numbers.
+    """
+    arguments = [
+        (seed + index, tx_rx_separation - from_rx, from_rx,
+         tx_rx_separation, carrier, fast, groups)
+        for index, from_rx in enumerate(positions)
+    ] + [
+        (seed + 100 + index, separation / 2.0, separation / 2.0,
+         separation, carrier, fast, groups)
+        for index, separation in enumerate(separations)
+    ]
+    results = (executor or CampaignExecutor()).map(_distance_trial,
+                                                   arguments)
+    stabilities = results[:len(positions)]
+    range_stabilities = results[len(positions):]
     return DistanceResult(
         positions_from_rx=np.asarray(list(positions), dtype=float),
         stability_deg=np.array(stabilities),
@@ -834,59 +844,69 @@ class FormFactorResult:
     relative_location_medians: Tuple[float, ...]
 
 
+def _form_factor_trial(index: int, scale: float, base_carrier: float,
+                       seed: int) -> Tuple[float, float, float, float]:
+    """One scaled unit, calibrated and read at its own carrier.
+
+    Returns (carrier, phase swing [deg], location median [m],
+    relative location median).  Module-level so the scales shard
+    across a :class:`CampaignExecutor`.
+    """
+    from repro.core.calibration import calibrate_harmonic_observable
+    from repro.sensor.fabrication import scaled_design
+
+    carrier = base_carrier / float(scale)
+    design = scaled_design(float(scale))
+    transducer = ForceTransducer(design, force_points=16,
+                                 location_points=17)
+    tag = WiForceTag(transducer, clock_offset_ppm=20.0)
+    length = design.length
+    locations = tuple(np.linspace(0.25, 0.75, 5) * length)
+    forces = np.linspace(0.5, 8.0, 12)
+    model = calibrate_harmonic_observable(tag, carrier, locations, forces)
+    # Phase swing of a centre press across the force range.
+    phases = [harmonic_differential_phases(
+        tag, carrier, float(f), length / 2.0)[0] for f in forces]
+    swing = float(np.degrees(
+        np.max(np.unwrap(phases)) - np.min(np.unwrap(phases))))
+
+    rng = np.random.default_rng(seed + index)
+    config = OFDMSounderConfig(carrier_frequency=carrier)
+    sounder = FrameLevelSounder(config, tag, BackscatterLink(),
+                                indoor_channel(carrier, rng=rng),
+                                rng=rng)
+    reader = WiForceReader(sounder, model)
+    rig = GroundTruthRig(rng=rng)
+    errors = []
+    for fraction in (0.3, 0.5, 0.7):
+        for force in (2.0, 5.0):
+            press = rig.press(force, fraction * length)
+            reading = reader.read(
+                TagState(press.applied_force, press.applied_location),
+                rebaseline=True)
+            errors.append(reading.location - press.commanded_location)
+    median = median_absolute_error(errors)
+    return carrier, swing, median, median / length
+
+
 def run_form_factor(scales: Sequence[float] = (1.0, 0.5),
-                    base_carrier: float = 2.4e9,
-                    seed: int = 77) -> FormFactorResult:
+                    base_carrier: float = 2.4e9, seed: int = 77,
+                    executor: Optional[CampaignExecutor] = None
+                    ) -> FormFactorResult:
     """Shrink the sensor, raise the carrier, keep the performance.
 
     Each scaled unit is read at ``base_carrier / scale`` so its
     electrical length is unchanged; the paper's argument is that the
     phase transduction — and therefore the *relative* localization
-    accuracy — carries over to the smaller form factor.
+    accuracy — carries over to the smaller form factor.  The scales
+    are independent, so they run as one executor batch.
     """
-    from repro.core.calibration import calibrate_harmonic_observable
-    from repro.sensor.fabrication import scaled_design
-
-    swings = []
-    medians = []
-    relative = []
-    carriers = []
-    for index, scale in enumerate(scales):
-        carrier = base_carrier / float(scale)
-        carriers.append(carrier)
-        design = scaled_design(float(scale))
-        transducer = ForceTransducer(design, force_points=16,
-                                     location_points=17)
-        tag = WiForceTag(transducer, clock_offset_ppm=20.0)
-        length = design.length
-        locations = tuple(np.linspace(0.25, 0.75, 5) * length)
-        forces = np.linspace(0.5, 8.0, 12)
-        model = calibrate_harmonic_observable(tag, carrier, locations,
-                                              forces)
-        # Phase swing of a centre press across the force range.
-        phases = [harmonic_differential_phases(
-            tag, carrier, float(f), length / 2.0)[0] for f in forces]
-        swings.append(float(np.degrees(
-            np.max(np.unwrap(phases)) - np.min(np.unwrap(phases)))))
-
-        rng = np.random.default_rng(seed + index)
-        config = OFDMSounderConfig(carrier_frequency=carrier)
-        sounder = FrameLevelSounder(config, tag, BackscatterLink(),
-                                    indoor_channel(carrier, rng=rng),
-                                    rng=rng)
-        reader = WiForceReader(sounder, model)
-        rig = GroundTruthRig(rng=rng)
-        errors = []
-        for fraction in (0.3, 0.5, 0.7):
-            for force in (2.0, 5.0):
-                press = rig.press(force, fraction * length)
-                reading = reader.read(
-                    TagState(press.applied_force, press.applied_location),
-                    rebaseline=True)
-                errors.append(reading.location - press.commanded_location)
-        median = median_absolute_error(errors)
-        medians.append(median)
-        relative.append(median / length)
+    results = (executor or CampaignExecutor()).map(
+        _form_factor_trial,
+        [(index, float(scale), base_carrier, seed)
+         for index, scale in enumerate(scales)])
+    carriers, swings, medians, relative = (
+        zip(*results) if results else ((), (), (), ()))
     return FormFactorResult(
         scales=tuple(float(s) for s in scales),
         carriers=tuple(carriers),

@@ -14,7 +14,7 @@ clean per-end readout tones (Fig. 8).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple, Union
+from typing import List, Tuple, Union
 
 import numpy as np
 

@@ -12,7 +12,7 @@ from repro.mechanics.contact import (
     GapContactSolver,
     PressureKernel,
 )
-from repro.mechanics.materials import COPPER, ECOFLEX_0030
+from repro.mechanics.materials import COPPER
 from repro.sensor.geometry import default_sensor_design
 
 GAP = 0.63e-3

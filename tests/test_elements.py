@@ -9,7 +9,6 @@ from repro.rf.elements import (
     line_twoport,
     shorted_sensor_twoport,
 )
-from repro.rf.microstrip import MicrostripLine
 
 FREQ = np.array([900e6, 2.4e9])
 

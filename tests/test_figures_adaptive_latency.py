@@ -10,7 +10,6 @@ from repro.baselines.vision_haptics import (
     latency_comparison,
 )
 from repro.core.adaptive import (
-    GroupLengthChoice,
     optimal_group_length,
     predicted_phase_std_deg,
 )

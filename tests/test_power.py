@@ -9,7 +9,6 @@ from repro.baselines.digital_backscatter import (
 )
 from repro.errors import ConfigurationError
 from repro.sensor.power import (
-    PowerBudget,
     cmos_switching_power,
     wiforce_power_budget,
 )

@@ -80,7 +80,6 @@ class TestWaveformConfig:
 
 class TestOFDMModem:
     def test_noiseless_recovery_exact(self, config, rng):
-        modem = OFDMModem(config, rng=rng)
         modem_quiet = OFDMModem(config, noise_figure_db=-300.0, rng=rng)
         channel = np.exp(1j * np.linspace(0.0, 2.0, config.subcarriers))
         estimate = modem_quiet.sound_once(channel)

@@ -6,7 +6,6 @@ import pytest
 from repro.errors import ConfigurationError, SensorError
 from repro.sensor.geometry import (
     SensorDesign,
-    default_sensor_design,
     thin_trace_design,
 )
 
