@@ -7,6 +7,7 @@ Commands:
     read        Simulate wireless reads of one press with a saved model.
     demo        One-command end-to-end demo (build, calibrate, read).
     report      Run every paper-figure runner, write REPORT.md.
+    serve-bench Drive the async inference service with synthetic load.
 """
 
 from __future__ import annotations
@@ -146,6 +147,31 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    from repro.serve import LoadProfile, run_benchmark, summarize, write_report
+
+    profile = LoadProfile(
+        sensors=args.sensors,
+        requests_per_sensor=args.requests,
+        max_batch=args.max_batch,
+        max_delay_s=args.max_delay_ms * 1e-3,
+        batching=not args.no_batching,
+        carrier_frequency=args.carrier,
+        fast=not args.full,
+        seed=args.seed,
+    )
+    print(f"Driving the inference service with "
+          f"{profile.total_requests} requests "
+          f"({profile.sensors} sensors x {profile.requests_per_sensor} "
+          f"samples, max batch {profile.max_batch}, deadline "
+          f"{profile.max_delay_s * 1e3:.1f} ms)...")
+    report = run_benchmark(profile)
+    print(summarize(report))
+    path = write_report(report, args.output)
+    print(f"Wrote {path}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The repro CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -187,6 +213,27 @@ def build_parser() -> argparse.ArgumentParser:
     reproduce.add_argument("--full", dest="fast", action="store_false",
                            help="full-resolution transducers (slower)")
 
+    serve_bench = sub.add_parser(
+        "serve-bench",
+        help="benchmark the async micro-batching inference service")
+    serve_bench.add_argument("--sensors", type=int, default=8,
+                             help="concurrent sensor streams (default 8)")
+    serve_bench.add_argument("--requests", type=int, default=64,
+                             help="samples per stream (default 64)")
+    serve_bench.add_argument("--max-batch", type=int, default=32,
+                             help="micro-batch flush size (default 32)")
+    serve_bench.add_argument("--max-delay-ms", type=float, default=2.0,
+                             help="micro-batch flush deadline [ms]")
+    serve_bench.add_argument("--no-batching", action="store_true",
+                             help="bench the degraded scalar-direct path")
+    serve_bench.add_argument("--carrier", type=float, default=900e6)
+    serve_bench.add_argument("--seed", type=int, default=7)
+    serve_bench.add_argument("--full", action="store_true",
+                             help="full-resolution calibration (slower)")
+    serve_bench.add_argument(
+        "--output", default="benchmarks/results/BENCH_serve.json",
+        help="JSON report path")
+
     return parser
 
 
@@ -197,6 +244,7 @@ _COMMANDS = {
     "read": _cmd_read,
     "demo": _cmd_demo,
     "report": _cmd_report,
+    "serve-bench": _cmd_serve_bench,
 }
 
 

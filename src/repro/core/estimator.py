@@ -34,6 +34,25 @@ class ForceLocationEstimate:
     residual: float
     touched: bool
 
+    def to_dict(self) -> dict:
+        """JSON-ready dict (plain python scalars only)."""
+        return {
+            "force": float(self.force),
+            "location": float(self.location),
+            "residual": float(self.residual),
+            "touched": bool(self.touched),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ForceLocationEstimate":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            force=float(payload["force"]),
+            location=float(payload["location"]),
+            residual=float(payload["residual"]),
+            touched=bool(payload["touched"]),
+        )
+
 
 @dataclass(frozen=True)
 class BatchForceLocationEstimate:

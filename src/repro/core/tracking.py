@@ -44,6 +44,29 @@ class TrackedSample:
     force: float
     location: float
 
+    def to_dict(self) -> dict:
+        """JSON-ready dict (plain python scalars only)."""
+        return {
+            "time": float(self.time),
+            "phi1": float(self.phi1),
+            "phi2": float(self.phi2),
+            "touched": bool(self.touched),
+            "force": float(self.force),
+            "location": float(self.location),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TrackedSample":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            time=float(payload["time"]),
+            phi1=float(payload["phi1"]),
+            phi2=float(payload["phi2"]),
+            touched=bool(payload["touched"]),
+            force=float(payload["force"]),
+            location=float(payload["location"]),
+        )
+
 
 @dataclass(frozen=True)
 class TouchEvent:
@@ -60,6 +83,25 @@ class TouchEvent:
     release: float
     peak_force: float
     mean_location: float
+
+    def to_dict(self) -> dict:
+        """JSON-ready dict (plain python scalars only)."""
+        return {
+            "onset": float(self.onset),
+            "release": float(self.release),
+            "peak_force": float(self.peak_force),
+            "mean_location": float(self.mean_location),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TouchEvent":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            onset=float(payload["onset"]),
+            release=float(payload["release"]),
+            peak_force=float(payload["peak_force"]),
+            mean_location=float(payload["mean_location"]),
+        )
 
 
 class StreamingTracker:
@@ -158,11 +200,18 @@ class StreamingTracker:
                      min_groups: int = 1) -> List[TouchEvent]:
         """Segment a tracked stream into touch events.
 
+        An empty stream, or one where no sample crosses the touch
+        threshold, has no contact segments and yields ``[]`` rather
+        than assuming at least one touch happened.
+
         Args:
             samples: Output of :meth:`process`.
             min_groups: Minimum touched groups for a valid event
                 (debounce).
         """
+        samples = list(samples)
+        if not samples or not any(s.touched for s in samples):
+            return []
         events: List[TouchEvent] = []
         current: Optional[List[TrackedSample]] = None
         for sample in samples:
@@ -180,6 +229,9 @@ class StreamingTracker:
 
     @staticmethod
     def _event_from(samples: List[TrackedSample]) -> TouchEvent:
+        if not samples:
+            raise EstimationError("cannot build a touch event from an "
+                                  "empty contact segment")
         forces = np.array([s.force for s in samples])
         locations = np.array([s.location for s in samples])
         weights = forces / forces.sum() if forces.sum() > 0 else None

@@ -59,3 +59,20 @@ class CalibrationError(WiForceError):
 
 class EstimationError(WiForceError):
     """Force/location estimation failed (no sensor signal found)."""
+
+
+class CampaignTrialError(WiForceError):
+    """One campaign trial raised; names the trial so sharded runs
+    fail with the same diagnostics as a plain serial loop."""
+
+
+class ServeError(WiForceError):
+    """Inference-service failure (scheduling, session routing)."""
+
+
+class QueueFullError(ServeError):
+    """The micro-batch scheduler's bounded queue rejected a request.
+
+    Backpressure signal: the caller should retry later or shed load;
+    admitting the request would have grown the queue without bound.
+    """

@@ -16,9 +16,16 @@ Rules for trial functions:
 
 Worker count resolution: an explicit ``workers`` argument wins,
 otherwise the ``REPRO_WORKERS`` environment variable, otherwise 1
-(serial).  Serial execution is also the graceful fallback whenever a
-process pool cannot be used (unpicklable work, sandboxed interpreter,
-broken pool).
+(serial).  ``REPRO_WORKERS=0`` is the operational kill switch — it
+disables parallelism and forces the serial path.  Serial execution is
+also the graceful fallback whenever a process pool cannot be used
+(unpicklable work, sandboxed interpreter, broken pool).
+
+A trial that raises is a *campaign* failure, not an infrastructure
+failure: the exception is wrapped as
+:class:`repro.errors.CampaignTrialError` naming the failing trial
+index, and propagates identically from the sharded and serial paths
+(it is never swallowed by the serial fallback).
 """
 
 from __future__ import annotations
@@ -31,7 +38,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
-from repro.errors import ConfigurationError
+from repro.errors import CampaignTrialError, ConfigurationError
 
 #: Environment variable consulted when ``workers`` is not given.
 WORKERS_ENV = "REPRO_WORKERS"
@@ -71,17 +78,34 @@ class CampaignExecution:
         return line
 
 
-def _timed_call(payload: Tuple[Callable[..., Any], Sequence[Any]]
+def _timed_call(payload: Tuple[int, Callable[..., Any], Sequence[Any]]
                 ) -> Tuple[Any, float]:
-    """Run one trial and measure it (module-level, so it pickles)."""
-    trial, arguments = payload
+    """Run one trial and measure it (module-level, so it pickles).
+
+    A raising trial is re-raised as :class:`CampaignTrialError` naming
+    the trial, so a failure deep inside a 4-process shard reads the
+    same as one from a plain serial loop.
+    """
+    index, trial, arguments = payload
     start = time.perf_counter()
-    result = trial(*arguments)
+    try:
+        result = trial(*arguments)
+    except Exception as exc:
+        name = getattr(trial, "__qualname__", repr(trial))
+        raise CampaignTrialError(
+            f"campaign trial {index} ({name}) raised "
+            f"{type(exc).__name__}: {exc}"
+        ) from exc
     return result, time.perf_counter() - start
 
 
 def resolve_workers(workers: Optional[int] = None) -> int:
-    """Explicit argument, else ``REPRO_WORKERS``, else 1 (serial)."""
+    """Explicit argument, else ``REPRO_WORKERS``, else 1 (serial).
+
+    ``REPRO_WORKERS=0`` in the environment means "parallelism off" and
+    resolves to 1 worker (serial); an explicit ``workers=0`` argument
+    is still a configuration error.
+    """
     if workers is None:
         raw = os.environ.get(WORKERS_ENV, "").strip()
         if raw:
@@ -91,6 +115,8 @@ def resolve_workers(workers: Optional[int] = None) -> int:
                 raise ConfigurationError(
                     f"{WORKERS_ENV} must be an integer, got {raw!r}"
                 )
+            if workers == 0:
+                workers = 1
         else:
             workers = 1
     if workers < 1:
@@ -121,8 +147,8 @@ class CampaignExecutor:
         process pool cannot run the work — unpicklable callables,
         sandboxed interpreters, or a broken pool.
         """
-        payloads = [(trial, tuple(arguments))
-                    for arguments in argument_lists]
+        payloads = [(index, trial, tuple(arguments))
+                    for index, arguments in enumerate(argument_lists)]
         start = time.perf_counter()
         if self.workers > 1 and payloads:
             try:
@@ -130,6 +156,11 @@ class CampaignExecutor:
                     timed = list(pool.map(_timed_call, payloads))
                 return self._execution(timed, "parallel", self.workers,
                                        start)
+            except CampaignTrialError:
+                # The trial itself failed — that is a campaign error
+                # and would fail identically in the serial loop, so
+                # propagate instead of re-running the work.
+                raise
             except (pickle.PicklingError, AttributeError, TypeError,
                     BrokenProcessPool, OSError) as exc:
                 reason = f"{type(exc).__name__}: {exc}"

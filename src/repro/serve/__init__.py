@@ -1,0 +1,63 @@
+"""``repro.serve`` — async streaming inference service.
+
+Multiplexes many per-sensor streams of phase samples into adaptive
+micro-batched :meth:`ForceLocationEstimator.invert_batch` calls, with
+bounded-queue backpressure, graceful scalar degradation, and built-in
+telemetry.  See DESIGN.md ("Serving architecture") for the data flow
+and README.md ("Serving") for the quickstart.
+"""
+
+from repro.serve.loadgen import (
+    LoadProfile,
+    generate_requests,
+    run_benchmark,
+    run_service_load,
+    summarize,
+    write_report,
+)
+from repro.serve.protocol import (
+    EstimateRequest,
+    EstimateResponse,
+    SensorConfig,
+)
+from repro.serve.scheduler import (
+    BatchPolicy,
+    MicroBatchScheduler,
+    ScheduledEstimate,
+)
+from repro.serve.service import InferenceService
+from repro.serve.session import SensorSession, SessionManager
+from repro.serve.telemetry import (
+    Counter,
+    Histogram,
+    MemorySink,
+    NullSink,
+    Span,
+    Telemetry,
+    TelemetrySink,
+)
+
+__all__ = [
+    "BatchPolicy",
+    "Counter",
+    "EstimateRequest",
+    "EstimateResponse",
+    "Histogram",
+    "InferenceService",
+    "LoadProfile",
+    "MemorySink",
+    "MicroBatchScheduler",
+    "NullSink",
+    "ScheduledEstimate",
+    "SensorConfig",
+    "SensorSession",
+    "SessionManager",
+    "Span",
+    "Telemetry",
+    "TelemetrySink",
+    "generate_requests",
+    "run_benchmark",
+    "run_service_load",
+    "summarize",
+    "write_report",
+]

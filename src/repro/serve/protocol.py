@@ -1,0 +1,193 @@
+"""Wire types for the inference service.
+
+Everything that crosses the service boundary is a frozen dataclass
+with a ``to_dict`` / ``from_dict`` JSON codec, mirroring the codecs on
+the core dataclasses (:class:`repro.core.estimator.ForceLocationEstimate`,
+``PressReading.to_dict``, ``TrackedSample.to_dict``).  The dict forms
+contain only plain python scalars, so ``json.dumps`` round-trips them
+losslessly; ``to_json`` / ``from_json`` are provided for convenience.
+
+:class:`SensorConfig` doubles as the *model cache key*: two sensors
+with equal configs share one calibrated :class:`SensorModel` and one
+estimator, which is also what lets the scheduler coalesce their
+requests into a single ``invert_batch`` call.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.estimator import ForceLocationEstimate
+from repro.errors import ServeError
+
+
+@dataclass(frozen=True)
+class SensorConfig:
+    """Calibration configuration shared by one or more sensors.
+
+    Hashable on purpose: it keys the session manager's model cache and
+    the scheduler's batch groups.
+
+    Attributes:
+        carrier_frequency: Calibration carrier [Hz].
+        fast: Reduced-resolution contact map (tests / demos).
+        touch_threshold_deg: No-contact classification threshold.
+    """
+
+    carrier_frequency: float = 900e6
+    fast: bool = True
+    touch_threshold_deg: float = 5.0
+
+    def to_dict(self) -> dict:
+        """JSON-ready dict (plain python scalars only)."""
+        return {
+            "carrier_frequency": float(self.carrier_frequency),
+            "fast": bool(self.fast),
+            "touch_threshold_deg": float(self.touch_threshold_deg),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SensorConfig":
+        """Inverse of :meth:`to_dict`; missing keys take defaults."""
+        defaults = cls()
+        return cls(
+            carrier_frequency=float(payload.get(
+                "carrier_frequency", defaults.carrier_frequency)),
+            fast=bool(payload.get("fast", defaults.fast)),
+            touch_threshold_deg=float(payload.get(
+                "touch_threshold_deg", defaults.touch_threshold_deg)),
+        )
+
+
+@dataclass(frozen=True)
+class EstimateRequest:
+    """One phase sample from one sensor stream.
+
+    Attributes:
+        sensor_id: Stream identity (sessions are keyed on it).
+        sequence: Monotone per-sensor sample counter.
+        time: Sample timestamp [s] (the stream's clock).
+        phi1 / phi2: Measured differential phases [rad].
+        config: Sensor calibration config (model cache key).
+        location_hint: Optional prior location [m].
+    """
+
+    sensor_id: str
+    sequence: int
+    time: float
+    phi1: float
+    phi2: float
+    config: SensorConfig = SensorConfig()
+    location_hint: Optional[float] = None
+
+    def to_dict(self) -> dict:
+        """JSON-ready dict (plain python scalars only)."""
+        return {
+            "sensor_id": str(self.sensor_id),
+            "sequence": int(self.sequence),
+            "time": float(self.time),
+            "phi1": float(self.phi1),
+            "phi2": float(self.phi2),
+            "config": self.config.to_dict(),
+            "location_hint": (None if self.location_hint is None
+                              else float(self.location_hint)),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "EstimateRequest":
+        """Inverse of :meth:`to_dict`."""
+        try:
+            hint = payload.get("location_hint")
+            return cls(
+                sensor_id=str(payload["sensor_id"]),
+                sequence=int(payload["sequence"]),
+                time=float(payload["time"]),
+                phi1=float(payload["phi1"]),
+                phi2=float(payload["phi2"]),
+                config=SensorConfig.from_dict(payload.get("config", {})),
+                location_hint=None if hint is None else float(hint),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ServeError(f"malformed estimate request: {exc}") from exc
+
+    def to_json(self) -> str:
+        """Compact JSON encoding of :meth:`to_dict`."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "EstimateRequest":
+        """Inverse of :meth:`to_json`."""
+        return cls.from_dict(json.loads(text))
+
+
+@dataclass(frozen=True)
+class EstimateResponse:
+    """The service's answer to one :class:`EstimateRequest`.
+
+    Attributes:
+        sensor_id / sequence / time: Echoed request identity.
+        estimate: The inverted (force, location) reading.
+        batch_size: Size of the micro-batch this request rode in
+            (1 on the scalar path).
+        latency_s: Service-side latency from admission to result [s].
+    """
+
+    sensor_id: str
+    sequence: int
+    time: float
+    estimate: ForceLocationEstimate
+    batch_size: int = 1
+    latency_s: float = 0.0
+
+    @property
+    def force(self) -> float:
+        """Estimated force [N]."""
+        return self.estimate.force
+
+    @property
+    def location(self) -> float:
+        """Estimated location [m]."""
+        return self.estimate.location
+
+    @property
+    def touched(self) -> bool:
+        """Contact classification."""
+        return self.estimate.touched
+
+    def to_dict(self) -> dict:
+        """JSON-ready dict; the nested estimate uses its own codec."""
+        return {
+            "sensor_id": str(self.sensor_id),
+            "sequence": int(self.sequence),
+            "time": float(self.time),
+            "estimate": self.estimate.to_dict(),
+            "batch_size": int(self.batch_size),
+            "latency_s": float(self.latency_s),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "EstimateResponse":
+        """Inverse of :meth:`to_dict`."""
+        try:
+            return cls(
+                sensor_id=str(payload["sensor_id"]),
+                sequence=int(payload["sequence"]),
+                time=float(payload["time"]),
+                estimate=ForceLocationEstimate.from_dict(
+                    payload["estimate"]),
+                batch_size=int(payload.get("batch_size", 1)),
+                latency_s=float(payload.get("latency_s", 0.0)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ServeError(f"malformed estimate response: {exc}") from exc
+
+    def to_json(self) -> str:
+        """Compact JSON encoding of :meth:`to_dict`."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "EstimateResponse":
+        """Inverse of :meth:`to_json`."""
+        return cls.from_dict(json.loads(text))

@@ -1,0 +1,128 @@
+"""The asyncio inference service: streams in, estimates out.
+
+:class:`InferenceService` is the façade that ties the serve subsystem
+together.  Per request it
+
+1. routes the sample to its :class:`SensorSession` (building or
+   reusing the calibrated model via the config-keyed cache),
+2. applies the session's baseline/drift correction,
+3. awaits the micro-batch scheduler (requests from every sensor that
+   shares a config coalesce into one ``invert_batch`` call),
+4. records the tracked sample into the session history and returns an
+   :class:`EstimateResponse` carrying the estimate plus batching
+   telemetry.
+
+The service is transport-agnostic: ``estimate`` takes and returns the
+protocol dataclasses, ``estimate_dict`` speaks their JSON dict forms
+(what a websocket/HTTP adapter would call).  Telemetry covers the full
+request path — admission counters, end-to-end latency histograms, and
+the scheduler's batch/queue instruments share one registry, exported
+by :meth:`telemetry_snapshot`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.tracking import TouchEvent, TrackedSample
+from repro.errors import ServeError
+from repro.serve.protocol import EstimateRequest, EstimateResponse
+from repro.serve.scheduler import BatchPolicy, MicroBatchScheduler
+from repro.serve.session import ModelFactory, SessionManager
+from repro.serve.telemetry import Telemetry, TelemetrySink
+
+
+class InferenceService:
+    """Multiplexes many sensor streams into batched model inversions.
+
+    Args:
+        policy: Micro-batching knobs (see :class:`BatchPolicy`).
+        model_factory: Config -> model builder for the session cache.
+        baseline_samples: Per-session untouched warmup window (0 when
+            streams are already baseline-referenced).
+        sink: Telemetry sink for trace spans.
+        history: Keep per-session tracked histories (needed for
+            touch-event queries; disable for unbounded streams).
+    """
+
+    def __init__(self, policy: Optional[BatchPolicy] = None,
+                 model_factory: Optional[ModelFactory] = None,
+                 baseline_samples: int = 0,
+                 sink: Optional[TelemetrySink] = None,
+                 history: bool = True):
+        self.telemetry = Telemetry(sink)
+        self.sessions = SessionManager(model_factory,
+                                       baseline_samples=baseline_samples,
+                                       history=history)
+        self.scheduler = MicroBatchScheduler(policy,
+                                             telemetry=self.telemetry)
+
+    async def estimate(self, request: EstimateRequest) -> EstimateResponse:
+        """Serve one request (may park awaiting its micro-batch).
+
+        Raises:
+            QueueFullError: Backpressure — the scheduler queue is full.
+            ServeError: Session/config routing failure.
+        """
+        loop = asyncio.get_running_loop()
+        start = loop.time()
+        session = self.sessions.session(request.sensor_id, request.config)
+        phi1, phi2 = session.correct(request.time, request.phi1,
+                                     request.phi2)
+        scheduled = await self.scheduler.submit(
+            session.estimator, phi1, phi2,
+            location_hint=request.location_hint,
+            key=session.config)
+        estimate = scheduled.estimate
+        session.record(TrackedSample(
+            time=request.time, phi1=phi1, phi2=phi2,
+            touched=estimate.touched, force=estimate.force,
+            location=estimate.location))
+        latency = loop.time() - start
+        self.telemetry.histogram("serve.latency_seconds").observe(latency)
+        self.telemetry.counter("serve.responses").increment()
+        return EstimateResponse(
+            sensor_id=request.sensor_id, sequence=request.sequence,
+            time=request.time, estimate=estimate,
+            batch_size=scheduled.batch_size, latency_s=latency)
+
+    async def estimate_dict(self, payload: dict) -> dict:
+        """JSON-boundary variant of :meth:`estimate` (dict in/out)."""
+        request = EstimateRequest.from_dict(payload)
+        response = await self.estimate(request)
+        return response.to_dict()
+
+    async def estimate_many(
+        self, requests: Sequence[EstimateRequest],
+    ) -> List[EstimateResponse]:
+        """Serve a burst of requests concurrently, in request order."""
+        return list(await asyncio.gather(
+            *(self.estimate(request) for request in requests)))
+
+    def touch_events(self, sensor_id: str,
+                     min_groups: int = 1) -> List[TouchEvent]:
+        """Touch events segmented from one sensor's served history.
+
+        Raises:
+            ServeError: No session exists for ``sensor_id`` (queries
+                never open sessions — only requests do).
+        """
+        session = self.sessions.get(sensor_id)
+        if session is None:
+            raise ServeError(f"no session for sensor {sensor_id!r}")
+        return session.touch_events(min_groups=min_groups)
+
+    def drain(self) -> None:
+        """Flush any parked micro-batches immediately."""
+        self.scheduler.flush_all()
+
+    def telemetry_snapshot(self) -> Dict:
+        """Counters/histograms plus session-cache stats (JSON-ready)."""
+        snapshot = self.telemetry.snapshot()
+        snapshot["sessions"] = {
+            "count": len(self.sessions),
+            "model_builds": self.sessions.model_builds,
+            "model_hits": self.sessions.model_hits,
+        }
+        return snapshot

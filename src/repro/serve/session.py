@@ -1,0 +1,233 @@
+"""Per-sensor session state for the inference service.
+
+A *session* is everything the service remembers about one sensor
+stream between requests:
+
+* which calibrated :class:`SensorModel` / estimator it uses — models
+  are expensive to calibrate, so the :class:`SessionManager` caches
+  them keyed by :class:`SensorConfig` and shares one estimator across
+  every sensor with an equal config (which is also what lets their
+  requests coalesce into one micro-batch group);
+* baseline / drift state — an optional warmup window of untouched
+  samples fits a per-tone phase reference and linear drift rate
+  (the tag clock's frequency offset, as in
+  :meth:`repro.core.pipeline.WiForceReader.capture_baseline`), which
+  is then subtracted from every later sample;
+* the tracked history, from which touch events are segmented by
+  :meth:`repro.core.tracking.StreamingTracker.touch_events`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.calibration import SensorModel
+from repro.core.estimator import ForceLocationEstimator
+from repro.core.tracking import StreamingTracker, TouchEvent, TrackedSample
+from repro.errors import ServeError
+from repro.serve.protocol import SensorConfig
+
+#: Builds (or loads) a calibrated model for a config.
+ModelFactory = Callable[[SensorConfig], SensorModel]
+
+
+def default_model_factory(config: SensorConfig) -> SensorModel:
+    """Calibrate the paper's default sensor for ``config``.
+
+    Uses the process-cached scenario builders, so repeated configs at
+    the same carrier cost one calibration per process.  Imported
+    lazily: the serve package stays importable without pulling the
+    whole experiments stack.
+    """
+    from repro.experiments.scenarios import calibrated_model
+
+    return calibrated_model(config.carrier_frequency, fast=config.fast)
+
+
+class SensorSession:
+    """State for one sensor stream.
+
+    Args:
+        sensor_id: Stream identity.
+        config: Calibration config (must match the manager's cache
+            entry the estimator came from).
+        estimator: Shared estimator for this config.
+        baseline_samples: Untouched warmup samples used to fit the
+            phase reference and drift; 0 disables correction (the
+            stream's phases are already baseline-referenced).
+        history: Keep every tracked sample for touch-event queries.
+    """
+
+    def __init__(self, sensor_id: str, config: SensorConfig,
+                 estimator: ForceLocationEstimator,
+                 baseline_samples: int = 0, history: bool = True):
+        if baseline_samples < 0:
+            raise ServeError(
+                f"baseline_samples must be >= 0, got {baseline_samples}")
+        self.sensor_id = sensor_id
+        self.config = config
+        self.estimator = estimator
+        self.baseline_samples = int(baseline_samples)
+        self.keep_history = bool(history)
+        self.samples: List[TrackedSample] = []
+        self.request_count = 0
+        self._warmup: List[Tuple[float, float, float]] = []
+        self._reference: Optional[Tuple[float, float]] = None
+        self._drift: Optional[Tuple[float, float]] = None
+        self._reference_time = 0.0
+
+    @property
+    def model(self) -> SensorModel:
+        """The calibrated model behind this session's estimator."""
+        return self.estimator.model
+
+    @property
+    def baseline_ready(self) -> bool:
+        """Whether the warmup reference has been fitted (or disabled)."""
+        return self.baseline_samples == 0 or self._reference is not None
+
+    @property
+    def drift_rates(self) -> Optional[Tuple[float, float]]:
+        """Fitted per-tone drift rates [rad/s] (None before warmup)."""
+        return self._drift
+
+    def correct(self, time: float, phi1: float,
+                phi2: float) -> Tuple[float, float]:
+        """Baseline/drift-correct one phase pair.
+
+        During warmup the raw phases are accumulated and passed
+        through unchanged; once ``baseline_samples`` samples have
+        arrived, a linear phase ramp per tone is fitted (reference +
+        drift) and subtracted from every subsequent sample.
+        """
+        self.request_count += 1
+        if self.baseline_samples == 0:
+            return float(phi1), float(phi2)
+        if self._reference is None:
+            self._warmup.append((float(time), float(phi1), float(phi2)))
+            if len(self._warmup) >= self.baseline_samples:
+                self._fit_baseline()
+            return float(phi1), float(phi2)
+        drift1, drift2 = self._drift
+        ref1, ref2 = self._reference
+        elapsed = float(time) - self._reference_time
+        return (float(phi1) - ref1 - drift1 * elapsed,
+                float(phi2) - ref2 - drift2 * elapsed)
+
+    def _fit_baseline(self) -> None:
+        """Fit per-tone reference + drift from the warmup window."""
+        times = np.array([w[0] for w in self._warmup])
+        self._reference_time = float(times[0])
+        elapsed = times - self._reference_time
+        references = []
+        drifts = []
+        for column in (1, 2):
+            phases = np.array([w[column] for w in self._warmup])
+            if len(self._warmup) >= 2 and np.ptp(elapsed) > 0.0:
+                slope, intercept = np.polyfit(elapsed, phases, 1)
+            else:
+                slope, intercept = 0.0, float(phases.mean())
+            references.append(float(intercept))
+            drifts.append(float(slope))
+        self._reference = (references[0], references[1])
+        self._drift = (drifts[0], drifts[1])
+        self._warmup.clear()
+
+    def record(self, sample: TrackedSample) -> None:
+        """Append one tracked sample to the session history."""
+        if self.keep_history:
+            self.samples.append(sample)
+
+    def touch_events(self, min_groups: int = 1) -> List[TouchEvent]:
+        """Segment the session history into touch events."""
+        return StreamingTracker.touch_events(self.samples,
+                                             min_groups=min_groups)
+
+
+class SessionManager:
+    """Routes sensor ids to sessions; caches models per config.
+
+    Args:
+        model_factory: ``SensorConfig -> SensorModel``; defaults to
+            calibrating the paper's default sensor.
+        baseline_samples: Warmup window for new sessions.
+        history: Whether sessions keep their tracked history.
+    """
+
+    def __init__(self, model_factory: Optional[ModelFactory] = None,
+                 baseline_samples: int = 0, history: bool = True):
+        self._factory = (model_factory if model_factory is not None
+                         else default_model_factory)
+        self.baseline_samples = int(baseline_samples)
+        self.history = bool(history)
+        self._models: Dict[Tuple[float, bool], SensorModel] = {}
+        self._estimators: Dict[SensorConfig, ForceLocationEstimator] = {}
+        self._sessions: Dict[str, SensorSession] = {}
+        self.model_builds = 0
+        self.model_hits = 0
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    @property
+    def sessions(self) -> Dict[str, SensorSession]:
+        """Live sessions keyed by sensor id (copy)."""
+        return dict(self._sessions)
+
+    def estimator(self, config: SensorConfig) -> ForceLocationEstimator:
+        """The shared estimator for ``config`` (builds on first use).
+
+        Models are cached on the calibration identity (carrier, fast)
+        — configs differing only in the touch threshold share one
+        calibrated model and differ only in their estimator.
+        """
+        estimator = self._estimators.get(config)
+        if estimator is not None:
+            self.model_hits += 1
+            return estimator
+        model_key = (config.carrier_frequency, config.fast)
+        model = self._models.get(model_key)
+        if model is None:
+            model = self._factory(config)
+            self._models[model_key] = model
+            self.model_builds += 1
+        estimator = ForceLocationEstimator(
+            model, touch_threshold_deg=config.touch_threshold_deg)
+        self._estimators[config] = estimator
+        return estimator
+
+    def session(self, sensor_id: str,
+                config: Optional[SensorConfig] = None) -> SensorSession:
+        """Get or create the session for ``sensor_id``.
+
+        Raises:
+            ServeError: An existing session was opened with a
+                different config (a sensor cannot switch calibrations
+                mid-stream).
+        """
+        session = self._sessions.get(sensor_id)
+        if session is not None:
+            if config is not None and config != session.config:
+                raise ServeError(
+                    f"sensor {sensor_id!r} is bound to config "
+                    f"{session.config}, got {config}"
+                )
+            return session
+        if config is None:
+            config = SensorConfig()
+        session = SensorSession(
+            sensor_id, config, self.estimator(config),
+            baseline_samples=self.baseline_samples,
+            history=self.history)
+        self._sessions[sensor_id] = session
+        return session
+
+    def get(self, sensor_id: str) -> Optional[SensorSession]:
+        """The existing session for ``sensor_id``, or None."""
+        return self._sessions.get(sensor_id)
+
+    def close(self, sensor_id: str) -> Optional[SensorSession]:
+        """Drop a session (its model stays cached); returns it."""
+        return self._sessions.pop(sensor_id, None)

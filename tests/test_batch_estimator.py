@@ -14,7 +14,11 @@ from repro.core.estimator import (
     BatchForceLocationEstimate,
     ForceLocationEstimator,
 )
-from repro.errors import ConfigurationError, EstimationError
+from repro.errors import (
+    CampaignTrialError,
+    ConfigurationError,
+    EstimationError,
+)
 from repro.experiments.parallel import (
     WORKERS_ENV,
     CampaignExecutor,
@@ -109,6 +113,13 @@ def _seeded_draw(seed):
     return float(rng.normal()), float(rng.uniform())
 
 
+def _flaky_trial(seed):
+    """Module-level (picklable) trial that fails on one input."""
+    if seed == 2:
+        raise ValueError(f"synthetic failure for seed {seed}")
+    return seed
+
+
 class TestCampaignExecutor:
     def test_parallel_matches_serial_bit_for_bit(self):
         """4 workers return exactly the serial loop's results."""
@@ -147,3 +158,46 @@ class TestCampaignExecutor:
     def test_rejects_zero_workers(self):
         with pytest.raises(ConfigurationError):
             CampaignExecutor(workers=0)
+
+    def test_workers_env_zero_means_serial(self, monkeypatch):
+        """REPRO_WORKERS=0 is the parallelism kill switch, not an
+        error: campaigns run on the serial path."""
+        monkeypatch.setenv(WORKERS_ENV, "0")
+        assert resolve_workers() == 1
+        execution = CampaignExecutor().run(_seeded_draw, [(0,), (1,)])
+        assert execution.mode == "serial"
+        assert execution.workers == 1
+        assert execution.results == [_seeded_draw(0), _seeded_draw(1)]
+        assert not execution.fallback_reason
+
+
+class TestCampaignFailurePaths:
+    def test_serial_trial_failure_is_named(self):
+        with pytest.raises(CampaignTrialError,
+                           match=r"trial 2 .*_flaky_trial.*ValueError"):
+            CampaignExecutor(workers=1).run(
+                _flaky_trial, [(seed,) for seed in range(4)])
+
+    def test_serial_trial_failure_chains_cause(self):
+        with pytest.raises(CampaignTrialError) as excinfo:
+            CampaignExecutor(workers=1).run(_flaky_trial, [(2,)])
+        assert isinstance(excinfo.value.__cause__, ValueError)
+
+    def test_parallel_trial_failure_propagates_not_swallowed(self):
+        """A raising worker must surface the same clear campaign
+        error as the serial loop — never be retried serially and
+        never be masked by the infrastructure fallback."""
+        executor = CampaignExecutor(workers=2)
+        with pytest.raises(CampaignTrialError,
+                           match=r"trial 2 .*ValueError: synthetic"):
+            executor.run(_flaky_trial, [(seed,) for seed in range(4)])
+
+    def test_parallel_trial_type_error_is_campaign_error(self):
+        """Trial-raised TypeErrors are campaign failures, not the
+        'unpicklable work' infrastructure signal, so they must not
+        trigger the serial fallback."""
+
+        executor = CampaignExecutor(workers=2)
+        with pytest.raises(CampaignTrialError, match="TypeError"):
+            # One argument too many -> TypeError inside the trial call.
+            executor.run(_seeded_draw, [(0,), (1, 2)])

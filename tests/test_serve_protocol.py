@@ -1,0 +1,118 @@
+"""JSON round-trips for the serve wire types and core dataclasses."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.estimator import ForceLocationEstimate
+from repro.core.pipeline import PressReading
+from repro.core.tracking import TouchEvent, TrackedSample
+from repro.errors import ServeError
+from repro.serve.protocol import (
+    EstimateRequest,
+    EstimateResponse,
+    SensorConfig,
+)
+
+
+class TestCoreSerialization:
+    def test_estimate_roundtrip(self):
+        estimate = ForceLocationEstimate(force=3.25, location=0.042,
+                                         residual=0.011, touched=True)
+        payload = json.loads(json.dumps(estimate.to_dict()))
+        assert ForceLocationEstimate.from_dict(payload) == estimate
+
+    def test_press_reading_roundtrip(self):
+        reading = PressReading(
+            phi1=0.61, phi2=-0.42,
+            estimate=ForceLocationEstimate(force=2.0, location=0.03,
+                                           residual=0.002, touched=True))
+        payload = json.loads(json.dumps(reading.to_dict()))
+        restored = PressReading.from_dict(payload)
+        assert restored == reading
+        assert restored.force == reading.estimate.force
+
+    def test_tracked_sample_roundtrip(self):
+        sample = TrackedSample(time=0.125, phi1=0.3, phi2=0.5,
+                               touched=True, force=4.0, location=0.05)
+        payload = json.loads(json.dumps(sample.to_dict()))
+        assert TrackedSample.from_dict(payload) == sample
+
+    def test_touch_event_roundtrip(self):
+        event = TouchEvent(onset=0.1, release=0.4, peak_force=5.5,
+                           mean_location=0.033)
+        payload = json.loads(json.dumps(event.to_dict()))
+        assert TouchEvent.from_dict(payload) == event
+
+    def test_dicts_are_plain_scalars(self):
+        import numpy as np
+
+        estimate = ForceLocationEstimate(
+            force=np.float64(1.0), location=np.float64(0.02),
+            residual=np.float64(0.0), touched=np.bool_(True))
+        payload = estimate.to_dict()
+        assert all(type(value) in (float, bool)
+                   for value in payload.values())
+        json.dumps(payload)  # must not raise
+
+
+class TestSensorConfig:
+    def test_roundtrip(self):
+        config = SensorConfig(carrier_frequency=2.4e9, fast=False,
+                              touch_threshold_deg=8.0)
+        assert SensorConfig.from_dict(config.to_dict()) == config
+
+    def test_defaults_fill_missing_keys(self):
+        assert SensorConfig.from_dict({}) == SensorConfig()
+        partial = SensorConfig.from_dict({"carrier_frequency": 2.4e9})
+        assert partial.carrier_frequency == 2.4e9
+        assert partial.fast == SensorConfig().fast
+
+    def test_hashable_cache_key(self):
+        a = SensorConfig(carrier_frequency=900e6)
+        b = SensorConfig(carrier_frequency=900e6)
+        assert len({a, b}) == 1
+
+
+class TestEstimateRequest:
+    def test_json_roundtrip_with_hint(self):
+        request = EstimateRequest(sensor_id="s-1", sequence=12,
+                                  time=0.12, phi1=0.4, phi2=-0.2,
+                                  location_hint=0.04)
+        assert EstimateRequest.from_json(request.to_json()) == request
+
+    def test_json_roundtrip_without_hint(self):
+        request = EstimateRequest(sensor_id="s-2", sequence=0,
+                                  time=0.0, phi1=0.0, phi2=0.0)
+        restored = EstimateRequest.from_json(request.to_json())
+        assert restored == request
+        assert restored.location_hint is None
+
+    def test_malformed_raises_serve_error(self):
+        with pytest.raises(ServeError):
+            EstimateRequest.from_dict({"sensor_id": "x"})
+
+
+class TestEstimateResponse:
+    def test_json_roundtrip(self):
+        response = EstimateResponse(
+            sensor_id="s-1", sequence=3, time=0.03,
+            estimate=ForceLocationEstimate(force=1.5, location=0.025,
+                                           residual=0.01, touched=True),
+            batch_size=16, latency_s=0.0021)
+        assert EstimateResponse.from_json(response.to_json()) == response
+
+    def test_convenience_properties(self):
+        response = EstimateResponse(
+            sensor_id="s", sequence=0, time=0.0,
+            estimate=ForceLocationEstimate(force=2.0, location=0.05,
+                                           residual=0.0, touched=True))
+        assert response.force == 2.0
+        assert response.location == 0.05
+        assert response.touched is True
+
+    def test_malformed_raises_serve_error(self):
+        with pytest.raises(ServeError):
+            EstimateResponse.from_dict({"sensor_id": "x", "sequence": 1})

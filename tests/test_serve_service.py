@@ -1,0 +1,174 @@
+"""InferenceService end-to-end: routing, parity, telemetry, events.
+
+The load-bearing guarantee is *batch parity*: whatever micro-batches
+the scheduler happens to form, every response must be element-wise
+equal to what the scalar ``ForceLocationEstimator.invert`` path
+returns for the same phases.  The hypothesis property below drives
+randomized multi-sensor loads through the full service to check it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.estimator import ForceLocationEstimator
+from repro.errors import ServeError
+from repro.serve import (
+    BatchPolicy,
+    EstimateRequest,
+    InferenceService,
+    SensorConfig,
+)
+
+#: Phases seen in practice live well inside one wrap.
+_PHASE = st.floats(min_value=-3.0, max_value=3.0, allow_nan=False,
+                   allow_infinity=False)
+
+
+def _service(model, **kwargs):
+    kwargs.setdefault("policy", BatchPolicy(max_batch=8,
+                                            max_delay_s=0.001))
+    return InferenceService(model_factory=lambda config: model, **kwargs)
+
+
+def _requests(phases, sensors=3):
+    config = SensorConfig()
+    return [
+        EstimateRequest(sensor_id=f"s-{index % sensors}",
+                        sequence=index // sensors,
+                        time=0.01 * (index // sensors),
+                        phi1=phi1, phi2=phi2, config=config)
+        for index, (phi1, phi2) in enumerate(phases)
+    ]
+
+
+class TestServiceBasics:
+    def test_response_echoes_request_identity(self, model_900):
+        service = _service(model_900)
+        request = _requests([(0.5, 0.4)])[0]
+        response = asyncio.run(service.estimate(request))
+        assert response.sensor_id == request.sensor_id
+        assert response.sequence == request.sequence
+        assert response.time == request.time
+        assert response.batch_size >= 1
+        assert response.latency_s >= 0.0
+
+    def test_dict_boundary_roundtrip(self, model_900):
+        service = _service(model_900)
+        payload = _requests([(0.6, 0.5)])[0].to_dict()
+        response = asyncio.run(service.estimate_dict(payload))
+        assert response["sensor_id"] == payload["sensor_id"]
+        assert set(response["estimate"]) == {"force", "location",
+                                             "residual", "touched"}
+
+    def test_untouched_sample_is_classified_untouched(self, model_900):
+        service = _service(model_900)
+        response = asyncio.run(service.estimate(
+            _requests([(0.0, 0.0)])[0]))
+        assert not response.touched
+        assert response.force == 0.0
+
+    def test_telemetry_snapshot_counts_requests(self, model_900):
+        service = _service(model_900)
+        requests = _requests([(0.5, 0.4), (0.7, 0.6), (0.0, 0.0)])
+        asyncio.run(service.estimate_many(requests))
+        snapshot = service.telemetry_snapshot()
+        assert snapshot["counters"]["serve.requests"] == 3
+        assert snapshot["counters"]["serve.responses"] == 3
+        assert snapshot["histograms"]["serve.latency_seconds"]["count"] == 3
+        assert snapshot["sessions"]["count"] == 3
+        assert snapshot["sessions"]["model_builds"] == 1
+
+    def test_touch_events_served_history(self, model_900):
+        service = _service(model_900)
+        phi1, phi2 = model_900.predict_batch(
+            np.array([3.0, 4.0]), np.array([0.04, 0.04]))
+        requests = [
+            EstimateRequest(sensor_id="s-0", sequence=0, time=0.00,
+                            phi1=0.0, phi2=0.0),
+            EstimateRequest(sensor_id="s-0", sequence=1, time=0.01,
+                            phi1=float(phi1[0]), phi2=float(phi2[0])),
+            EstimateRequest(sensor_id="s-0", sequence=2, time=0.02,
+                            phi1=float(phi1[1]), phi2=float(phi2[1])),
+            EstimateRequest(sensor_id="s-0", sequence=3, time=0.03,
+                            phi1=0.0, phi2=0.0),
+        ]
+        asyncio.run(service.estimate_many(requests))
+        events = service.touch_events("s-0")
+        assert len(events) == 1
+        assert events[0].onset == 0.01
+        assert events[0].release == 0.02
+        assert events[0].peak_force > 0.0
+
+    def test_touch_events_unknown_sensor_raises(self, model_900):
+        service = _service(model_900)
+        with pytest.raises(ServeError):
+            service.touch_events("never-served")
+
+
+class TestServiceParity:
+    """Service == scalar invert, element-wise, under random loads."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(phases=st.lists(st.tuples(_PHASE, _PHASE), min_size=1,
+                           max_size=24),
+           sensors=st.integers(min_value=1, max_value=4),
+           max_batch=st.integers(min_value=1, max_value=16))
+    def test_randomized_multi_sensor_parity(self, model_900, phases,
+                                            sensors, max_batch):
+        reference = ForceLocationEstimator(model_900)
+        service = _service(
+            model_900,
+            policy=BatchPolicy(max_batch=max_batch, max_delay_s=0.001))
+        requests = _requests(phases, sensors=sensors)
+        responses = asyncio.run(service.estimate_many(requests))
+        for request, response in zip(requests, responses):
+            expected = reference.invert(request.phi1, request.phi2)
+            assert response.estimate == expected
+
+    def test_disabled_batching_parity(self, model_900):
+        reference = ForceLocationEstimator(model_900)
+        rng = np.random.default_rng(11)
+        phases = list(zip(rng.uniform(-3, 3, 12),
+                          rng.uniform(-3, 3, 12)))
+        service = _service(model_900,
+                           policy=BatchPolicy(enabled=False))
+        responses = asyncio.run(
+            service.estimate_many(_requests(phases)))
+        for (phi1, phi2), response in zip(phases, responses):
+            assert response.batch_size == 1
+            assert response.estimate == reference.invert(phi1, phi2)
+
+    def test_baseline_corrected_stream_parity(self, model_900):
+        """With warmup enabled, parity holds on the corrected phases."""
+        reference = ForceLocationEstimator(model_900)
+        service = _service(model_900, baseline_samples=2)
+        drift = 0.07
+        requests = [
+            EstimateRequest(sensor_id="s-0", sequence=index,
+                            time=0.1 * index,
+                            phi1=drift * 0.1 * index + extra,
+                            phi2=-drift * 0.1 * index + extra)
+            for index, extra in enumerate((0.0, 0.0, 0.9, 1.2))
+        ]
+
+        async def drive():
+            responses = []
+            for request in requests:  # in stream order
+                responses.append(await service.estimate(request))
+            return responses
+
+        responses = asyncio.run(drive())
+        # The post-warmup samples were corrected before inversion.
+        for request, response in zip(requests[2:], responses[2:]):
+            expected = reference.invert(
+                request.phi1 - drift * request.time,
+                request.phi2 + drift * request.time)
+            assert response.estimate.force == pytest.approx(
+                expected.force)
+            assert response.estimate.location == pytest.approx(
+                expected.location)

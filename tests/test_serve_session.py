@@ -1,0 +1,140 @@
+"""Session state: model cache, baseline/drift correction, events."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.tracking import TrackedSample
+from repro.errors import ServeError
+from repro.serve.protocol import SensorConfig
+from repro.serve.session import SensorSession, SessionManager
+
+
+@pytest.fixture()
+def manager(model_900):
+    """A session manager whose factory reuses the cached test model
+    and counts invocations."""
+    calls = []
+
+    def factory(config):
+        calls.append(config)
+        return model_900
+
+    built = SessionManager(model_factory=factory)
+    built.factory_calls = calls
+    return built
+
+
+class TestModelCache:
+    def test_sensors_sharing_config_share_one_model(self, manager):
+        config = SensorConfig()
+        first = manager.session("sensor-a", config)
+        second = manager.session("sensor-b", config)
+        assert len(manager.factory_calls) == 1
+        assert manager.model_builds == 1
+        assert manager.model_hits >= 1
+        assert first.estimator is second.estimator
+
+    def test_threshold_change_reuses_calibration(self, manager):
+        base = SensorConfig()
+        stricter = SensorConfig(touch_threshold_deg=9.0)
+        a = manager.session("sensor-a", base)
+        b = manager.session("sensor-b", stricter)
+        # One expensive calibration, two estimators.
+        assert manager.model_builds == 1
+        assert a.estimator is not b.estimator
+        assert a.estimator.model is b.estimator.model
+
+    def test_session_config_mismatch_raises(self, manager):
+        manager.session("sensor-a", SensorConfig())
+        with pytest.raises(ServeError):
+            manager.session("sensor-a",
+                            SensorConfig(touch_threshold_deg=9.0))
+
+    def test_get_and_close(self, manager):
+        assert manager.get("ghost") is None
+        session = manager.session("sensor-a", SensorConfig())
+        assert manager.get("sensor-a") is session
+        assert manager.close("sensor-a") is session
+        assert manager.get("sensor-a") is None
+        assert len(manager) == 0
+
+
+class TestBaselineCorrection:
+    def test_no_warmup_passes_phases_through(self, manager):
+        session = manager.session("sensor-a", SensorConfig())
+        assert session.baseline_ready
+        assert session.correct(0.0, 0.3, -0.2) == (0.3, -0.2)
+
+    def test_warmup_fits_reference_and_drift(self, model_900):
+        manager = SessionManager(model_factory=lambda config: model_900,
+                                 baseline_samples=4)
+        session = manager.session("sensor-a", SensorConfig())
+        assert not session.baseline_ready
+        # Untouched warmup with a pure linear drift ramp: 0.10 rad/s
+        # on tone 1, -0.05 rad/s on tone 2, zero intercept.
+        for step in range(4):
+            time = 0.1 * step
+            session.correct(time, 0.10 * time, -0.05 * time)
+        assert session.baseline_ready
+        drift1, drift2 = session.drift_rates
+        assert drift1 == pytest.approx(0.10, abs=1e-9)
+        assert drift2 == pytest.approx(-0.05, abs=1e-9)
+        # A later untouched sample corrects back to ~zero phases...
+        phi1, phi2 = session.correct(1.0, 0.10 * 1.0, -0.05 * 1.0)
+        assert phi1 == pytest.approx(0.0, abs=1e-9)
+        assert phi2 == pytest.approx(0.0, abs=1e-9)
+        # ...and a press on top of the ramp is recovered exactly.
+        phi1, phi2 = session.correct(2.0, 0.10 * 2.0 + 0.5,
+                                     -0.05 * 2.0 - 0.3)
+        assert phi1 == pytest.approx(0.5, abs=1e-9)
+        assert phi2 == pytest.approx(-0.3, abs=1e-9)
+
+    def test_single_sample_warmup_uses_mean_reference(self, model_900):
+        manager = SessionManager(model_factory=lambda config: model_900,
+                                 baseline_samples=1)
+        session = manager.session("sensor-a", SensorConfig())
+        session.correct(0.0, 0.2, -0.1)
+        drift1, drift2 = session.drift_rates
+        assert drift1 == 0.0 and drift2 == 0.0
+        phi1, phi2 = session.correct(1.0, 0.2, -0.1)
+        assert phi1 == pytest.approx(0.0, abs=1e-12)
+        assert phi2 == pytest.approx(0.0, abs=1e-12)
+
+    def test_negative_warmup_rejected(self, manager):
+        config = SensorConfig()
+        with pytest.raises(ServeError):
+            SensorSession("s", config, manager.estimator(config),
+                          baseline_samples=-1)
+
+
+class TestHistoryAndEvents:
+    @staticmethod
+    def _sample(time, touched, force=0.0, location=0.0):
+        return TrackedSample(time=time, phi1=0.0, phi2=0.0,
+                             touched=touched, force=force,
+                             location=location)
+
+    def test_touch_events_from_history(self, manager):
+        session = manager.session("sensor-a", SensorConfig())
+        for sample in (self._sample(0.0, False),
+                       self._sample(0.1, True, 2.0, 0.03),
+                       self._sample(0.2, True, 4.0, 0.04),
+                       self._sample(0.3, False),
+                       self._sample(0.4, True, 1.0, 0.05)):
+            session.record(sample)
+        events = session.touch_events()
+        assert len(events) == 2
+        assert events[0].peak_force == 4.0
+        assert events[1].onset == 0.4
+
+    def test_empty_history_has_no_events(self, manager):
+        session = manager.session("sensor-a", SensorConfig())
+        assert session.touch_events() == []
+
+    def test_history_can_be_disabled(self, model_900):
+        manager = SessionManager(model_factory=lambda config: model_900,
+                                 history=False)
+        session = manager.session("sensor-a", SensorConfig())
+        session.record(self._sample(0.0, True, 1.0, 0.02))
+        assert session.samples == []

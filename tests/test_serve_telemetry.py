@@ -1,0 +1,95 @@
+"""Telemetry instruments: counters, histograms, spans, snapshots."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve.telemetry import (
+    BATCH_BUCKETS,
+    Histogram,
+    MemorySink,
+    Telemetry,
+)
+
+
+class TestCounter:
+    def test_increments(self):
+        telemetry = Telemetry()
+        counter = telemetry.counter("requests")
+        counter.increment()
+        counter.increment(4)
+        assert telemetry.counter("requests").value == 5
+
+    def test_rejects_decrease(self):
+        with pytest.raises(ServeError):
+            Telemetry().counter("x").increment(-1)
+
+
+class TestHistogram:
+    def test_observe_statistics(self):
+        histogram = Histogram("latency", bounds=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 3.0, 10.0):
+            histogram.observe(value)
+        assert histogram.count == 4
+        assert histogram.counts == [1, 1, 1, 1]
+        assert histogram.mean == pytest.approx(3.75)
+        assert histogram.minimum == 0.5
+        assert histogram.maximum == 10.0
+
+    def test_quantile_bounds(self):
+        histogram = Histogram("h", bounds=(1.0, 2.0))
+        for _ in range(100):
+            histogram.observe(1.5)
+        quantile = histogram.quantile(0.5)
+        assert 1.0 <= quantile <= 2.0
+        assert histogram.quantile(0.0) <= histogram.quantile(1.0)
+
+    def test_empty_quantile_is_zero(self):
+        assert Histogram("h", bounds=(1.0,)).quantile(0.99) == 0.0
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ServeError):
+            Histogram("bad", bounds=(2.0, 1.0))
+        with pytest.raises(ServeError):
+            Histogram("empty", bounds=())
+
+    def test_invalid_quantile_rejected(self):
+        with pytest.raises(ServeError):
+            Histogram("h", bounds=(1.0,)).quantile(1.5)
+
+
+class TestSpan:
+    def test_span_emits_to_sink(self):
+        sink = MemorySink()
+        telemetry = Telemetry(sink)
+        with telemetry.span("flush", {"batch_size": 8}) as span:
+            span.set("path", "batched")
+        assert len(sink.events) == 1
+        event = sink.events[0]
+        assert event["span"] == "flush"
+        assert event["batch_size"] == 8
+        assert event["path"] == "batched"
+        assert event["error"] is None
+        assert event["duration_s"] >= 0.0
+
+    def test_span_records_error(self):
+        sink = MemorySink()
+        telemetry = Telemetry(sink)
+        with pytest.raises(RuntimeError):
+            with telemetry.span("flush"):
+                raise RuntimeError("boom")
+        assert sink.events[0]["error"] == "RuntimeError"
+
+
+class TestSnapshot:
+    def test_snapshot_is_json_ready(self):
+        telemetry = Telemetry()
+        telemetry.counter("requests").increment(3)
+        telemetry.histogram("batch_size", BATCH_BUCKETS).observe(4)
+        snapshot = json.loads(telemetry.to_json())
+        assert snapshot["counters"]["requests"] == 3
+        assert snapshot["histograms"]["batch_size"]["count"] == 1
+        assert snapshot["histograms"]["batch_size"]["mean"] == 4.0

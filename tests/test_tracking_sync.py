@@ -105,6 +105,39 @@ class TestStreamingTracker:
         with pytest.raises(ReaderError):
             tracker.process(stream)
 
+    def test_touch_events_empty_stream_is_empty(self):
+        # Regression: segmentation must not assume at least one
+        # contact segment exists.
+        assert StreamingTracker.touch_events([]) == []
+
+    def test_touch_events_all_below_threshold_is_empty(self):
+        from repro.core.tracking import TrackedSample
+
+        untouched = [
+            TrackedSample(time=0.01 * g, phi1=0.001, phi2=-0.002,
+                          touched=False, force=0.0, location=0.0)
+            for g in range(10)
+        ]
+        assert StreamingTracker.touch_events(untouched) == []
+        # Debounce on an untouched stream is equally empty.
+        assert StreamingTracker.touch_events(untouched,
+                                             min_groups=3) == []
+
+    def test_touch_events_debounce_drops_short_blips(self):
+        from repro.core.tracking import TrackedSample
+
+        def sample(g, touched):
+            return TrackedSample(time=0.01 * g, phi1=0.0, phi2=0.0,
+                                 touched=touched,
+                                 force=2.0 if touched else 0.0,
+                                 location=0.03 if touched else 0.0)
+
+        blip = [sample(0, False), sample(1, True), sample(2, False),
+                sample(3, True), sample(4, True), sample(5, True)]
+        events = StreamingTracker.touch_events(blip, min_groups=2)
+        assert len(events) == 1
+        assert events[0].onset == pytest.approx(0.03)
+
     def test_rejects_single_tone_extractor(self, tracking_setup):
         _, _, model, group = tracking_setup
         extractor = HarmonicExtractor(tones=(1e3,), group_length=group)
