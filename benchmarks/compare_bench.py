@@ -1,0 +1,125 @@
+"""Perf-regression gate: diff a fresh ``BENCH_*.json`` vs a baseline.
+
+CI runs this after the bench-smoke suites regenerate the benchmark
+reports, comparing them against the baselines committed in
+``benchmarks/results/``.  The gate fails (exit code 1) when any
+tracked throughput metric drops by more than ``--max-regression``
+(default 20%).
+
+By default only **machine-normalized ratio metrics** are gated — the
+batch-vs-scalar speedup and the service-vs-serial speedup — because a
+CI runner is not the machine that produced the committed baseline, so
+absolute req/s numbers would gate on hardware, not code.  Pass
+``--absolute`` to also gate raw throughputs (useful when baseline and
+fresh report come from the same machine).
+
+The script understands both report schemas (``BENCH_estimator.json``
+and ``BENCH_serve.json``) by key inspection, so pre-``schema_version``
+baselines keep working.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+
+def extract_metrics(report: dict, absolute: bool = False
+                    ) -> Dict[str, float]:
+    """Higher-is-better throughput metrics from either report schema."""
+    metrics: Dict[str, float] = {}
+    # BENCH_estimator.json shape.
+    if "batch_speedup" in report:
+        metrics["batch_speedup"] = float(report["batch_speedup"])
+    if absolute and report.get("batch_seconds") and "n_samples" in report:
+        metrics["batch_inversions_per_s"] = (
+            report["n_samples"] / report["batch_seconds"])
+    if absolute and report.get("scalar_seconds") and "n_samples" in report:
+        metrics["scalar_inversions_per_s"] = (
+            report["n_samples"] / report["scalar_seconds"])
+    # BENCH_serve.json shape.
+    if "speedup_vs_serial" in report:
+        metrics["speedup_vs_serial"] = float(report["speedup_vs_serial"])
+    if absolute and "service" in report:
+        metrics["service_throughput_rps"] = float(
+            report["service"]["throughput_rps"])
+    if absolute and "serial_baseline" in report:
+        metrics["serial_throughput_rps"] = float(
+            report["serial_baseline"]["throughput_rps"])
+    return metrics
+
+
+def compare(baseline: dict, fresh: dict, max_regression: float = 0.20,
+            absolute: bool = False
+            ) -> Tuple[List[str], List[str]]:
+    """Compare two reports; returns (table lines, failure messages)."""
+    base_metrics = extract_metrics(baseline, absolute=absolute)
+    fresh_metrics = extract_metrics(fresh, absolute=absolute)
+    if not base_metrics:
+        return [], ["baseline report carries no tracked metrics"]
+    lines = [f"{'metric':<26}  {'baseline':>12}  {'fresh':>12}  "
+             f"{'change':>8}  verdict"]
+    failures: List[str] = []
+    for name, base_value in sorted(base_metrics.items()):
+        fresh_value = fresh_metrics.get(name)
+        if fresh_value is None:
+            failures.append(f"metric {name} missing from fresh report")
+            lines.append(f"{name:<26}  {base_value:>12.3f}  "
+                         f"{'missing':>12}  {'-':>8}  FAIL")
+            continue
+        if base_value <= 0.0:
+            lines.append(f"{name:<26}  {base_value:>12.3f}  "
+                         f"{fresh_value:>12.3f}  {'-':>8}  skip "
+                         f"(non-positive baseline)")
+            continue
+        change = fresh_value / base_value - 1.0
+        regressed = change < -max_regression
+        verdict = "FAIL" if regressed else "ok"
+        lines.append(f"{name:<26}  {base_value:>12.3f}  "
+                     f"{fresh_value:>12.3f}  {change:>+7.1%}  {verdict}")
+        if regressed:
+            failures.append(
+                f"{name} regressed {-change:.1%} "
+                f"({base_value:.3f} -> {fresh_value:.3f}), "
+                f"above the {max_regression:.0%} gate")
+    return lines, failures
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="fail when a fresh benchmark report regresses "
+                    "throughput vs a baseline")
+    parser.add_argument("--baseline", required=True,
+                        help="committed baseline BENCH_*.json")
+    parser.add_argument("--fresh", required=True,
+                        help="freshly produced BENCH_*.json")
+    parser.add_argument("--max-regression", type=float, default=0.20,
+                        help="tolerated fractional drop (default 0.20)")
+    parser.add_argument("--absolute", action="store_true",
+                        help="also gate raw throughputs, not just "
+                             "machine-normalized speedups")
+    args = parser.parse_args(argv)
+    if not 0.0 <= args.max_regression < 1.0:
+        parser.error("--max-regression must be in [0, 1)")
+    baseline = json.loads(Path(args.baseline).read_text())
+    fresh = json.loads(Path(args.fresh).read_text())
+    lines, failures = compare(baseline, fresh,
+                              max_regression=args.max_regression,
+                              absolute=args.absolute)
+    print(f"perf gate: {args.fresh} vs baseline {args.baseline} "
+          f"(max regression {args.max_regression:.0%})")
+    for line in lines:
+        print(line)
+    if failures:
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        return 1
+    print("perf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,6 +27,7 @@ from repro.core.estimator import ForceLocationEstimator
 from repro.experiments.montecarlo import environment_campaign
 from repro.experiments.parallel import CampaignExecutor
 from repro.experiments.scenarios import calibrated_model
+from repro.obs import is_enabled, observed, stamp_report
 
 RESULTS_DIR = Path(__file__).parent / "results"
 BENCH_PATH = RESULTS_DIR / "BENCH_estimator.json"
@@ -77,6 +78,8 @@ def _best_of(runs, fn, *args):
 def bench_report():
     """Write the machine-readable summary after the module finishes."""
     yield
+    stamp_report(_report, config={"n_samples": N_SAMPLES,
+                                  "campaign_trials": CAMPAIGN_TRIALS})
     RESULTS_DIR.mkdir(exist_ok=True)
     BENCH_PATH.write_text(json.dumps(_report, indent=2, sort_keys=True)
                           + "\n")
@@ -113,6 +116,38 @@ def test_batch_matches_scalar_and_speedup(estimator, phases):
     assert speedup >= 5.0, (
         f"invert_batch is only {speedup:.1f}x faster than the scalar "
         f"loop at N={N_SAMPLES}; the batched engine should be >= 5x"
+    )
+
+
+def test_obs_instrumentation_overhead(estimator, phases):
+    """Off-by-default instrumentation costs < 5% on invert_batch.
+
+    The instrumented paths gate on ``repro.obs.active()`` — one
+    function call and a branch when observation is off (the default).
+    Measured here against the obs-enabled path, which does strictly
+    more work (counters, histograms, span bookkeeping); the small
+    absolute slack absorbs scheduler jitter on the ~100 ms batch.
+    """
+    phi1, phi2 = phases
+    assert not is_enabled()
+    off_seconds, batch_off = _best_of(5, estimator.invert_batch,
+                                      phi1, phi2)
+    with observed() as registry:
+        on_seconds, batch_on = _best_of(5, estimator.invert_batch,
+                                        phi1, phi2)
+        counters = registry.snapshot()["counters"]
+    assert counters["estimator.batch_inversions"] == 5
+    assert counters["estimator.batched_samples"] == 5 * N_SAMPLES
+    assert np.array_equal(batch_off.force, batch_on.force)
+    overhead = on_seconds / off_seconds - 1.0
+    _report.update({
+        "obs_disabled_seconds": off_seconds,
+        "obs_enabled_seconds": on_seconds,
+        "obs_enabled_overhead": overhead,
+    })
+    assert on_seconds <= 1.05 * off_seconds + 0.010, (
+        f"instrumentation overhead is {overhead:.1%} on invert_batch "
+        f"at N={N_SAMPLES}; the obs layer must stay under 5%"
     )
 
 

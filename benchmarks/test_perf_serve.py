@@ -79,6 +79,25 @@ def test_latency_percentiles_reported(serve_report):
     assert service["throughput_rps"] > 0.0
 
 
+def test_report_is_stamped_with_manifest(serve_report):
+    """The emitted report carries schema_version + run manifest."""
+    from repro.obs import SCHEMA_VERSION
+
+    assert serve_report["schema_version"] == SCHEMA_VERSION
+    manifest = serve_report["manifest"]
+    assert manifest["config_hash"] != "none"
+    assert manifest["python_version"]
+    instruments = manifest["instruments"]
+    # The service shares the run's registry, so its counters appear in
+    # the manifest snapshot verbatim — one registry observes the whole
+    # bench, estimator instruments included.
+    telemetry = serve_report["telemetry"]
+    for name, value in telemetry["counters"].items():
+        assert instruments["counters"][name] == value
+    assert instruments["counters"]["estimator.batch_inversions"] > 0
+    assert "span.serve.flush.seconds" in instruments["histograms"]
+
+
 def _drive_service(policy, requests, model):
     service = InferenceService(policy=policy,
                                model_factory=lambda config: model)

@@ -8,15 +8,24 @@ Commands:
     demo        One-command end-to-end demo (build, calibrate, read).
     report      Run every paper-figure runner, write REPORT.md.
     serve-bench Drive the async inference service with synthetic load.
+    obs-report  Summarize the observability manifest of a bench run.
+
+Primary results go to stdout (machine-consumable); progress and
+diagnostics go through the ``repro`` logger hierarchy on stderr,
+controlled by ``--log-level``.  ``REPRO_OBS=1`` turns the shared
+instrument registry on for any command.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from typing import List, Optional
 
 import numpy as np
+
+logger = logging.getLogger(__name__)
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
@@ -75,8 +84,8 @@ def _build_tag(fast: bool):
 def _cmd_calibrate(args: argparse.Namespace) -> int:
     from repro.core.calibration import calibrate_harmonic_observable
 
-    print(f"Calibrating at {args.carrier / 1e6:.0f} MHz "
-          f"({'fast' if args.fast else 'full'} contact map)...")
+    logger.info("calibrating at %.0f MHz (%s contact map)",
+                args.carrier / 1e6, "fast" if args.fast else "full")
     tag = _build_tag(args.fast)
     locations = (0.020, 0.030, 0.040, 0.050, 0.060)
     forces = np.linspace(0.5, 8.0, 16)
@@ -117,8 +126,8 @@ def _cmd_read(args: argparse.Namespace) -> int:
 def _cmd_demo(args: argparse.Namespace) -> int:
     from repro import TagState, build_default_system
 
-    print("Building the default deployment (this calibrates the sensor "
-          "model; ~15 s)...")
+    logger.info("building the default deployment (this calibrates the "
+                "sensor model; ~15 s)")
     transducer = None
     if args.fast:
         from repro.sensor.geometry import default_sensor_design
@@ -140,14 +149,15 @@ def _cmd_demo(args: argparse.Namespace) -> int:
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.report import generate_report
 
-    print("Running every paper-figure runner "
-          f"({'fast' if args.fast else 'full'} mode)...")
+    logger.info("running every paper-figure runner (%s mode)",
+                "fast" if args.fast else "full")
     path = generate_report(args.output, fast=args.fast)
     print(f"Wrote {path}")
     return 0
 
 
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    from repro.obs import Profiler
     from repro.serve import LoadProfile, run_benchmark, summarize, write_report
 
     profile = LoadProfile(
@@ -160,15 +170,94 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         fast=not args.full,
         seed=args.seed,
     )
-    print(f"Driving the inference service with "
-          f"{profile.total_requests} requests "
-          f"({profile.sensors} sensors x {profile.requests_per_sensor} "
-          f"samples, max batch {profile.max_batch}, deadline "
-          f"{profile.max_delay_s * 1e3:.1f} ms)...")
-    report = run_benchmark(profile)
+    logger.info(
+        "driving the inference service with %d requests "
+        "(%d sensors x %d samples, max batch %d, deadline %.1f ms)",
+        profile.total_requests, profile.sensors,
+        profile.requests_per_sensor, profile.max_batch,
+        profile.max_delay_s * 1e3)
+    profiler = Profiler(enabled=args.profile)
+    report = run_benchmark(profile, profiler=profiler)
     print(summarize(report))
+    if args.profile:
+        print()
+        print(profiler.report())
     path = write_report(report, args.output)
     print(f"Wrote {path}")
+    return 0
+
+
+def _render_histogram_stats(histograms: dict) -> List[str]:
+    """Aligned count/mean/p50/p99/max lines for snapshot histograms."""
+    from repro.obs import Histogram
+
+    if not histograms:
+        return ["  (none)"]
+    width = max(len(name) for name in histograms)
+    lines = [f"  {'name':<{width}}  {'count':>7}  {'mean':>10}  "
+             f"{'p50':>10}  {'p99':>10}  {'max':>10}"]
+    for name, payload in sorted(histograms.items()):
+        histogram = Histogram.from_dict(dict(payload, name=name))
+        maximum = payload["max"] if payload["count"] else float("nan")
+        lines.append(
+            f"  {name:<{width}}  {histogram.count:>7}  "
+            f"{histogram.mean:>10.3g}  {histogram.quantile(0.5):>10.3g}  "
+            f"{histogram.quantile(0.99):>10.3g}  {maximum:>10.3g}")
+    return lines
+
+
+def _cmd_obs_report(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.obs import to_prometheus
+
+    path = Path(args.input)
+    if not path.exists():
+        logger.error("no benchmark report at %s — run "
+                     "`python -m repro serve-bench` first", path)
+        return 1
+    report = json.loads(path.read_text())
+    manifest = report.get("manifest") or {}
+    snapshot = manifest.get("instruments")
+    if snapshot is None:
+        # Pre-manifest reports still carry the service telemetry.
+        snapshot = report.get("telemetry")
+    if snapshot is None:
+        logger.error("%s carries no instrument snapshot", path)
+        return 1
+    if args.prometheus:
+        print(to_prometheus(snapshot), end="")
+        return 0
+    print(f"observability report: {path}")
+    print(f"  schema_version : {report.get('schema_version', 1)}")
+    print(f"  git sha        : {manifest.get('git_sha', 'unknown')}")
+    print(f"  config hash    : {manifest.get('config_hash', 'unknown')}")
+    counters = snapshot.get("counters", {})
+    print("counters:")
+    if counters:
+        width = max(len(name) for name in counters)
+        for name, value in sorted(counters.items()):
+            print(f"  {name:<{width}}  {value}")
+    else:
+        print("  (none)")
+    gauges = snapshot.get("gauges", {})
+    if gauges:
+        print("gauges:")
+        width = max(len(name) for name in gauges)
+        for name, value in sorted(gauges.items()):
+            print(f"  {name:<{width}}  {value:.4g}")
+    histograms = snapshot.get("histograms", {})
+    spans = {name: payload for name, payload in histograms.items()
+             if name.startswith("span.")}
+    stages = {name: payload for name, payload in histograms.items()
+              if not name.startswith("span.")}
+    print("stage latency histograms [s]:")
+    for line in _render_histogram_stats(stages):
+        print(line)
+    print("trace spans [s]:")
+    for line in _render_histogram_stats(spans):
+        print(line)
     return 0
 
 
@@ -178,6 +267,10 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="WiForce reproduction command-line tools",
     )
+    parser.add_argument(
+        "--log-level", default="info",
+        choices=["debug", "info", "warning", "error", "critical"],
+        help="repro logger verbosity on stderr (default info)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("info", help="print the sensor design summary")
@@ -233,6 +326,20 @@ def build_parser() -> argparse.ArgumentParser:
     serve_bench.add_argument(
         "--output", default="benchmarks/results/BENCH_serve.json",
         help="JSON report path")
+    serve_bench.add_argument(
+        "--profile", action="store_true",
+        help="print a per-stage hotspot profile of the bench run")
+
+    obs_report = sub.add_parser(
+        "obs-report",
+        help="summarize the manifest + instrument snapshot of a "
+             "benchmark report")
+    obs_report.add_argument(
+        "--input", default="benchmarks/results/BENCH_serve.json",
+        help="stamped benchmark JSON (default BENCH_serve.json)")
+    obs_report.add_argument(
+        "--prometheus", action="store_true",
+        help="dump the snapshot in Prometheus text format instead")
 
     return parser
 
@@ -245,12 +352,17 @@ _COMMANDS = {
     "demo": _cmd_demo,
     "report": _cmd_report,
     "serve-bench": _cmd_serve_bench,
+    "obs-report": _cmd_obs_report,
 }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
+    from repro.obs import configure_logging, enable_from_env
+
     args = build_parser().parse_args(argv)
+    configure_logging(args.log_level)
+    enable_from_env()
     return _COMMANDS[args.command](args)
 
 

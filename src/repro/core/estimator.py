@@ -9,6 +9,7 @@ and robust to the model's mild non-monotonicities.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
@@ -16,6 +17,8 @@ import numpy as np
 
 from repro.core.calibration import SensorModel
 from repro.errors import EstimationError
+from repro.obs.instruments import BATCH_BUCKETS
+from repro.obs.registry import active
 
 
 @dataclass(frozen=True)
@@ -136,6 +139,9 @@ class ForceLocationEstimator:
                      force_span: Tuple[float, float],
                      location_span: Tuple[float, float],
                      points: int) -> Tuple[float, float, float]:
+        obs = active()
+        if obs is not None:
+            obs.counter("estimator.grid_stages").increment()
         forces = np.linspace(force_span[0], force_span[1], points)
         locations = np.linspace(location_span[0], location_span[1], points)
         phi1, phi2 = self.model.predict_grid(forces, locations)
@@ -157,6 +163,21 @@ class ForceLocationEstimator:
             location_hint: Optional prior location [m]; restricts the
                 initial search to +/- 10 mm around it.
         """
+        obs = active()
+        if obs is None:
+            return self._invert(phi1, phi2, location_hint)
+        start = time.perf_counter()
+        estimate = self._invert(phi1, phi2, location_hint)
+        obs.histogram("estimator.invert_seconds").observe(
+            time.perf_counter() - start)
+        obs.counter("estimator.inversions").increment()
+        if not estimate.touched:
+            obs.counter("estimator.no_touch").increment()
+        return estimate
+
+    def _invert(self, phi1: float, phi2: float,
+                location_hint: Optional[float] = None
+                ) -> ForceLocationEstimate:
         if (abs(phi1) < self.touch_threshold
                 and abs(phi2) < self.touch_threshold):
             return ForceLocationEstimate(force=0.0, location=0.0,
@@ -202,6 +223,9 @@ class ForceLocationEstimator:
         per-sample grid prediction; the flattened per-sample argmin
         uses C order, matching the scalar search's tie-breaking.
         """
+        obs = active()
+        if obs is not None:
+            obs.counter("estimator.grid_stages").increment()
         forces = np.linspace(force_low, force_high, points, axis=-1)
         locations = np.linspace(location_low, location_high, points,
                                 axis=-1)
@@ -255,6 +279,22 @@ class ForceLocationEstimator:
                 shape-(N,) array; restricts each sample's initial
                 search to +/- 10 mm around its hint.
         """
+        obs = active()
+        if obs is None:
+            return self._invert_batch(phi1, phi2, location_hint)
+        start = time.perf_counter()
+        batch = self._invert_batch(phi1, phi2, location_hint)
+        obs.histogram("estimator.batch_seconds").observe(
+            time.perf_counter() - start)
+        obs.histogram("estimator.batch_size",
+                      BATCH_BUCKETS).observe(len(batch))
+        obs.counter("estimator.batch_inversions").increment()
+        obs.counter("estimator.batched_samples").increment(len(batch))
+        return batch
+
+    def _invert_batch(self, phi1: np.ndarray, phi2: np.ndarray,
+                      location_hint: Optional[np.ndarray] = None
+                      ) -> BatchForceLocationEstimate:
         phi1 = np.atleast_1d(np.asarray(phi1, dtype=float))
         phi2 = np.atleast_1d(np.asarray(phi2, dtype=float))
         phi1, phi2 = np.broadcast_arrays(phi1, phi2)

@@ -31,6 +31,7 @@ from repro.core.harmonics import (
 )
 from repro.core.phase import differential_phase, phase_trajectory
 from repro.errors import ReaderError
+from repro.obs.registry import active, maybe_span
 from repro.reader.sounder import FrameLevelSounder
 from repro.sensor.tag import TagState
 
@@ -139,9 +140,16 @@ class WiForceReader:
     def _capture_matrices(self, state: TagState,
                           groups: int) -> Dict[float, HarmonicMatrix]:
         frames = self.extractor.group_length * groups
-        stream = self.sounder.capture(state, frames, start_time=self._clock)
-        self._clock += frames * self.sounder.config.frame_period
-        return self.extractor.extract(stream)
+        with maybe_span("reader.capture", {"frames": frames}):
+            stream = self.sounder.capture(state, frames,
+                                          start_time=self._clock)
+            self._clock += frames * self.sounder.config.frame_period
+            matrices = self.extractor.extract(stream)
+        obs = active()
+        if obs is not None:
+            obs.counter("reader.captures").increment()
+            obs.counter("reader.frames").increment(frames)
+        return matrices
 
     def _derotated_vector(self, matrix: HarmonicMatrix,
                           tone: float) -> np.ndarray:
@@ -157,25 +165,35 @@ class WiForceReader:
         slope per tone (the tag clock's frequency offset), and stores
         the drift-corrected reference vectors.
         """
-        matrices = self._capture_matrices(TagState(), self.baseline_groups)
-        drift: Dict[float, float] = {}
-        noise: Dict[float, float] = {}
-        reference_time = 0.0
-        for tone, matrix in matrices.items():
-            trajectory = phase_trajectory(matrix)
-            coefficients = np.polyfit(matrix.group_times, trajectory, 1)
-            drift[tone] = float(coefficients[0])
-            residual = trajectory - np.polyval(coefficients,
-                                               matrix.group_times)
-            noise[tone] = float(np.std(residual))
-            reference_time = float(matrix.group_times.mean())
-        self._drift = drift
-        self._phase_noise = noise
-        self._reference_time = reference_time
-        self._baseline = {
-            tone: self._derotated_vector(matrix, tone)
-            for tone, matrix in matrices.items()
-        }
+        with maybe_span("reader.capture_baseline",
+                        {"groups": self.baseline_groups}):
+            matrices = self._capture_matrices(TagState(),
+                                              self.baseline_groups)
+            drift: Dict[float, float] = {}
+            noise: Dict[float, float] = {}
+            reference_time = 0.0
+            for tone, matrix in matrices.items():
+                trajectory = phase_trajectory(matrix)
+                coefficients = np.polyfit(matrix.group_times, trajectory, 1)
+                drift[tone] = float(coefficients[0])
+                residual = trajectory - np.polyval(coefficients,
+                                                   matrix.group_times)
+                noise[tone] = float(np.std(residual))
+                reference_time = float(matrix.group_times.mean())
+            self._drift = drift
+            self._phase_noise = noise
+            self._reference_time = reference_time
+            self._baseline = {
+                tone: self._derotated_vector(matrix, tone)
+                for tone, matrix in matrices.items()
+            }
+        obs = active()
+        if obs is not None:
+            obs.counter("reader.baselines").increment()
+            for tone, tone_noise in noise.items():
+                obs.histogram("reader.baseline_phase_noise_rad",
+                              (1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2,
+                               1e-1, 3e-1, 1.0)).observe(tone_noise)
 
     @property
     def has_baseline(self) -> bool:
@@ -208,21 +226,28 @@ class WiForceReader:
         Raises:
             ReaderError: No baseline available.
         """
-        if rebaseline or self._baseline is None:
-            self.capture_baseline()
-        phi1, phi2 = self._measure_phases(state)
-        estimate = self.estimator.invert(phi1, phi2,
-                                         location_hint=location_hint)
+        with maybe_span("reader.read"):
+            if rebaseline or self._baseline is None:
+                self.capture_baseline()
+            phi1, phi2 = self._measure_phases(state)
+            estimate = self.estimator.invert(phi1, phi2,
+                                             location_hint=location_hint)
+        obs = active()
+        if obs is not None:
+            obs.counter("reader.reads").increment()
         return PressReading(phi1=phi1, phi2=phi2, estimate=estimate)
 
     def _measure_phases(self, state: TagState) -> Tuple[float, float]:
         """One capture's differential phase pair against the baseline."""
         assert self._baseline is not None
-        harmonics = self.capture_harmonics(state)
-        tone1 = self.extractor.tones[0]
-        tone2 = self.extractor.tones[1]
-        phi1 = differential_phase(self._baseline[tone1], harmonics[tone1])
-        phi2 = differential_phase(self._baseline[tone2], harmonics[tone2])
+        with maybe_span("reader.measure_phases"):
+            harmonics = self.capture_harmonics(state)
+            tone1 = self.extractor.tones[0]
+            tone2 = self.extractor.tones[1]
+            phi1 = differential_phase(self._baseline[tone1],
+                                      harmonics[tone1])
+            phi2 = differential_phase(self._baseline[tone2],
+                                      harmonics[tone2])
         return phi1, phi2
 
     @property

@@ -22,6 +22,7 @@ from repro.core.estimator import ForceLocationEstimator
 from repro.core.harmonics import HarmonicExtractor
 from repro.core.phase import differential_phase
 from repro.errors import EstimationError, ReaderError
+from repro.obs.registry import active, maybe_span
 from repro.reader.sounder import ChannelEstimateStream
 
 
@@ -136,6 +137,19 @@ class StreamingTracker:
 
     def process(self, stream: ChannelEstimateStream) -> List[TrackedSample]:
         """Track the whole stream; returns one sample per phase group."""
+        with maybe_span("tracker.process") as span:
+            samples = self._process(stream)
+            span.set("groups", len(samples))
+        obs = active()
+        if obs is not None:
+            obs.counter("tracker.streams").increment()
+            obs.counter("tracker.groups").increment(len(samples))
+            obs.counter("tracker.touched_groups").increment(
+                sum(1 for sample in samples if sample.touched))
+        return samples
+
+    def _process(self, stream: ChannelEstimateStream
+                 ) -> List[TrackedSample]:
         matrices = self.extractor.extract(stream)
         tone1, tone2 = self.extractor.tones[0], self.extractor.tones[1]
         groups = matrices[tone1].groups

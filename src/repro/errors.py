@@ -66,6 +66,10 @@ class CampaignTrialError(WiForceError):
     fail with the same diagnostics as a plain serial loop."""
 
 
+class ObservabilityError(WiForceError):
+    """Misused observability instrument (bad bounds, negative count)."""
+
+
 class ServeError(WiForceError):
     """Inference-service failure (scheduling, session routing)."""
 

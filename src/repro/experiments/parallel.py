@@ -30,6 +30,7 @@ index, and propagates identically from the sharded and serial paths
 
 from __future__ import annotations
 
+import logging
 import os
 import pickle
 import time
@@ -39,9 +40,12 @@ from dataclasses import dataclass
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from repro.errors import CampaignTrialError, ConfigurationError
+from repro.obs.registry import active
 
 #: Environment variable consulted when ``workers`` is not given.
 WORKERS_ENV = "REPRO_WORKERS"
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -150,24 +154,61 @@ class CampaignExecutor:
         payloads = [(index, trial, tuple(arguments))
                     for index, arguments in enumerate(argument_lists)]
         start = time.perf_counter()
-        if self.workers > 1 and payloads:
-            try:
-                with ProcessPoolExecutor(max_workers=self.workers) as pool:
-                    timed = list(pool.map(_timed_call, payloads))
-                return self._execution(timed, "parallel", self.workers,
-                                       start)
-            except CampaignTrialError:
-                # The trial itself failed — that is a campaign error
-                # and would fail identically in the serial loop, so
-                # propagate instead of re-running the work.
-                raise
-            except (pickle.PicklingError, AttributeError, TypeError,
-                    BrokenProcessPool, OSError) as exc:
-                reason = f"{type(exc).__name__}: {exc}"
-        else:
-            reason = ""
-        timed = [_timed_call(payload) for payload in payloads]
-        return self._execution(timed, "serial", 1, start, reason)
+        try:
+            if self.workers > 1 and payloads:
+                try:
+                    with ProcessPoolExecutor(
+                            max_workers=self.workers) as pool:
+                        timed = list(pool.map(_timed_call, payloads))
+                    execution = self._execution(timed, "parallel",
+                                                self.workers, start)
+                    self._observe(execution)
+                    return execution
+                except CampaignTrialError:
+                    # The trial itself failed — that is a campaign error
+                    # and would fail identically in the serial loop, so
+                    # propagate instead of re-running the work.
+                    raise
+                except (pickle.PicklingError, AttributeError, TypeError,
+                        BrokenProcessPool, OSError) as exc:
+                    reason = f"{type(exc).__name__}: {exc}"
+                    logger.warning(
+                        "campaign fell back to serial execution: %s",
+                        reason)
+            else:
+                reason = ""
+            timed = [_timed_call(payload) for payload in payloads]
+            execution = self._execution(timed, "serial", 1, start, reason)
+        except CampaignTrialError as exc:
+            obs = active()
+            if obs is not None:
+                obs.counter("campaign.trial_failures").increment()
+            logger.error("campaign trial failed: %s", exc)
+            raise
+        self._observe(execution)
+        logger.debug("campaign finished: %s", execution.summary())
+        return execution
+
+    @staticmethod
+    def _observe(execution: CampaignExecution) -> None:
+        """Record one finished campaign into the shared registry."""
+        obs = active()
+        if obs is None:
+            return
+        obs.counter("campaign.runs").increment()
+        obs.counter("campaign.trials").increment(len(execution.results))
+        if execution.fallback_reason:
+            obs.counter("campaign.serial_fallbacks").increment()
+        trial_hist = obs.histogram("campaign.trial_seconds")
+        for seconds in execution.trial_seconds:
+            trial_hist.observe(seconds)
+        obs.histogram("campaign.wall_seconds").observe(
+            execution.wall_seconds)
+        busy = sum(execution.trial_seconds)
+        capacity = execution.workers * execution.wall_seconds
+        if capacity > 0.0:
+            obs.gauge("campaign.worker_utilization").set(
+                min(busy / capacity, 1.0))
 
     def map(self, trial: Callable[..., Any],
             argument_lists: Sequence[Sequence[Any]]) -> List[Any]:

@@ -1,0 +1,88 @@
+"""``repro.obs`` — repo-wide observability: tracing, metrics, profiling.
+
+One dependency-free layer shared by every subsystem.  The instruments
+(:class:`Counter`, :class:`Gauge`, :class:`Histogram`, trace
+:class:`Span`) were promoted from ``repro.serve.telemetry`` so the
+reader, estimator, tracker, campaign executor and inference service
+all speak the same vocabulary and can share a single
+:class:`Registry`.
+
+Instrumentation is **off by default** and costs one ``active()`` call
+per instrumented operation when disabled.  Turn it on with
+:func:`enable` / the :func:`observed` context manager; export with
+:func:`to_prometheus` or a JSON snapshot; stamp benchmark artifacts
+with :func:`stamp_report`; find hotspots with :class:`Profiler`.
+
+See DESIGN.md ("Observability") and README.md ("Observability &
+benchmarking") for the data flow and a quickstart.
+"""
+
+from repro.obs.exporters import (
+    registry_from_snapshot,
+    to_prometheus,
+    write_snapshot,
+)
+from repro.obs.instruments import (
+    BATCH_BUCKETS,
+    LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MemorySink,
+    NullSink,
+    Span,
+    TelemetrySink,
+)
+from repro.obs.logconfig import configure_logging, get_logger
+from repro.obs.manifest import (
+    SCHEMA_VERSION,
+    config_hash,
+    git_sha,
+    run_manifest,
+    stamp_report,
+)
+from repro.obs.profiler import Profiler
+from repro.obs.registry import (
+    Registry,
+    active,
+    disable,
+    enable,
+    enable_from_env,
+    get_registry,
+    is_enabled,
+    maybe_span,
+    observed,
+    set_registry,
+)
+
+__all__ = [
+    "BATCH_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BUCKETS",
+    "MemorySink",
+    "NullSink",
+    "Profiler",
+    "Registry",
+    "SCHEMA_VERSION",
+    "Span",
+    "TelemetrySink",
+    "active",
+    "config_hash",
+    "configure_logging",
+    "disable",
+    "enable",
+    "enable_from_env",
+    "get_logger",
+    "git_sha",
+    "is_enabled",
+    "maybe_span",
+    "observed",
+    "registry_from_snapshot",
+    "run_manifest",
+    "set_registry",
+    "stamp_report",
+    "to_prometheus",
+    "write_snapshot",
+]

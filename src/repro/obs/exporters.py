@@ -1,0 +1,107 @@
+"""Exporters: Prometheus text format and JSON snapshot round-trips.
+
+Two consumption paths for a :class:`~repro.obs.registry.Registry`:
+
+* :func:`to_prometheus` renders a snapshot in the Prometheus text
+  exposition format (counters, gauges, and histograms with cumulative
+  ``le`` buckets), so a scrape endpoint or pushgateway hook needs no
+  extra dependencies.
+* :func:`write_snapshot` / :func:`registry_from_snapshot` persist the
+  JSON snapshot and rebuild a live registry from it — what the
+  ``repro obs-report`` CLI and the benchmark manifests use.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Union
+
+from repro.obs.instruments import Histogram
+from repro.obs.registry import Registry
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _metric_name(name: str, prefix: str) -> str:
+    """``serve.latency_seconds`` -> ``repro_serve_latency_seconds``."""
+    sanitized = _NAME_RE.sub("_", name)
+    if prefix:
+        sanitized = f"{prefix}_{sanitized}"
+    if sanitized[0].isdigit():
+        sanitized = f"_{sanitized}"
+    return sanitized
+
+
+def _format_value(value: float) -> str:
+    """Prometheus sample value: integers stay integral."""
+    as_float = float(value)
+    if as_float == int(as_float) and abs(as_float) < 1e15:
+        return str(int(as_float))
+    return repr(as_float)
+
+
+def to_prometheus(snapshot: dict, prefix: str = "repro") -> str:
+    """Render a registry snapshot in Prometheus text format.
+
+    Accepts either a :meth:`Registry.snapshot` dict or a live
+    :class:`Registry`.  Histograms become the standard cumulative
+    ``_bucket{le=...}`` / ``_sum`` / ``_count`` series.
+    """
+    if isinstance(snapshot, Registry):
+        snapshot = snapshot.snapshot()
+    lines = []
+    for name, value in sorted(snapshot.get("counters", {}).items()):
+        metric = _metric_name(name, prefix)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_format_value(value)}")
+    for name, value in sorted(snapshot.get("gauges", {}).items()):
+        metric = _metric_name(name, prefix)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(value)}")
+    for name, payload in sorted(snapshot.get("histograms", {}).items()):
+        metric = _metric_name(name, prefix)
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for bound, count in zip(payload["bounds"], payload["counts"]):
+            cumulative += count
+            lines.append(
+                f'{metric}_bucket{{le="{_format_value(bound)}"}} '
+                f"{cumulative}")
+        lines.append(
+            f'{metric}_bucket{{le="+Inf"}} {payload["count"]}')
+        lines.append(f"{metric}_sum {_format_value(payload['sum'])}")
+        lines.append(f"{metric}_count {payload['count']}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def write_snapshot(registry: Union[Registry, dict], path) -> Path:
+    """Persist a registry snapshot as pretty JSON; returns the path."""
+    snapshot = (registry.snapshot() if isinstance(registry, Registry)
+                else registry)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def registry_from_snapshot(snapshot: Union[dict, str, Path]) -> Registry:
+    """Rebuild a live registry from a snapshot dict or JSON file.
+
+    The inverse of :meth:`Registry.snapshot` up to span-sink events
+    (which are not retained): counters, gauges, and histograms come
+    back with their full recorded state, so quantiles and exports work
+    on reloaded data exactly as on the original.
+    """
+    if not isinstance(snapshot, dict):
+        snapshot = json.loads(Path(snapshot).read_text())
+    registry = Registry()
+    for name, value in snapshot.get("counters", {}).items():
+        registry.counter(name).increment(int(value))
+    for name, value in snapshot.get("gauges", {}).items():
+        registry.gauge(name).set(float(value))
+    for name, payload in snapshot.get("histograms", {}).items():
+        histogram = Histogram.from_dict(dict(payload, name=name))
+        registry._histograms[name] = histogram
+    return registry

@@ -1,0 +1,232 @@
+"""Observability instruments: counters, gauges, histograms, spans.
+
+Promoted from ``repro.serve.telemetry`` so every subsystem shares one
+instrument vocabulary.  The hot paths (scheduler flushes, batched
+inversions, per-group tracking) touch these on every operation, so the
+instruments are deliberately tiny — plain attribute updates, no locks
+(single-process use) and no external dependencies.
+
+Latency histograms use fixed log-spaced bucket bounds; exact
+percentiles for benchmark reports should be computed from the raw
+samples (the load generator does), while :meth:`Histogram.quantile`
+gives the usual bucket-interpolated estimate for monitoring.  Two
+edge cases follow Prometheus semantics: the quantile of an *empty*
+histogram is ``nan`` (there is no data to estimate from), and a
+quantile that lands in the implicit overflow bucket is clamped to the
+largest finite bound instead of extrapolating past it.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.errors import ObservabilityError
+
+#: Default latency buckets [s]: 100 us .. ~5 s, log-spaced.
+LATENCY_BUCKETS = (1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1, 3e-1,
+                   1.0, 5.0)
+
+#: Default batch-size buckets [requests / samples].
+BATCH_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0,
+                 256.0, 512.0, 1024.0)
+
+
+class TelemetrySink:
+    """Receives span/event dicts; subclass to export elsewhere."""
+
+    def emit(self, event: dict) -> None:
+        """Handle one event dict (override)."""
+        raise NotImplementedError
+
+
+class NullSink(TelemetrySink):
+    """Discards every event (the default)."""
+
+    def emit(self, event: dict) -> None:
+        pass
+
+
+class MemorySink(TelemetrySink):
+    """Keeps every event in a list (tests, bench reports)."""
+
+    def __init__(self) -> None:
+        self.events: List[dict] = []
+
+    def emit(self, event: dict) -> None:
+        self.events.append(event)
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing count."""
+
+    name: str
+    value: int = 0
+
+    def increment(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be >= 0)."""
+        if amount < 0:
+            raise ObservabilityError(
+                f"counter {self.name} cannot decrease")
+        self.value += amount
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "value": int(self.value)}
+
+
+@dataclass
+class Gauge:
+    """A point-in-time value that can move either way.
+
+    Used for levels and ratios (queue depth, worker utilisation)
+    where a monotone counter is the wrong shape.
+    """
+
+    name: str
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        """Overwrite the current value."""
+        self.value = float(value)
+
+    def add(self, amount: float) -> None:
+        """Shift the current value by ``amount`` (either sign)."""
+        self.value += float(amount)
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "value": float(self.value)}
+
+
+@dataclass
+class Histogram:
+    """Fixed-bucket histogram with running count/sum/min/max.
+
+    ``bounds`` are upper bucket edges; observations above the last
+    bound land in the implicit overflow bucket.
+    """
+
+    name: str
+    bounds: Tuple[float, ...] = LATENCY_BUCKETS
+    counts: List[int] = field(default_factory=list)
+    total: float = 0.0
+    count: int = 0
+    minimum: float = float("inf")
+    maximum: float = float("-inf")
+
+    def __post_init__(self) -> None:
+        bounds = tuple(float(b) for b in self.bounds)
+        if not bounds or any(b2 <= b1 for b1, b2
+                             in zip(bounds, bounds[1:])):
+            raise ObservabilityError(
+                f"histogram {self.name} needs strictly ascending "
+                f"bucket bounds, got {bounds}"
+            )
+        self.bounds = bounds
+        if not self.counts:
+            self.counts = [0] * (len(bounds) + 1)
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        index = 0
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                break
+        else:
+            index = len(self.bounds)
+        self.counts[index] += 1
+        self.count += 1
+        self.total += value
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+
+    @property
+    def mean(self) -> float:
+        """Mean observation (0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Bucket-interpolated quantile estimate.
+
+        ``nan`` for an empty histogram; a quantile landing in the
+        overflow bucket is clamped to the largest finite bound (the
+        histogram cannot resolve positions beyond it — read ``max``
+        from :meth:`to_dict` for the true extreme).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ObservabilityError(
+                f"quantile must be in [0, 1], got {q}")
+        if not self.count:
+            return math.nan
+        target = q * self.count
+        cumulative = 0
+        for index, count in enumerate(self.counts):
+            cumulative += count
+            if cumulative >= target and count:
+                if index == len(self.bounds):
+                    return self.bounds[-1]
+                low = 0.0 if index == 0 else self.bounds[index - 1]
+                high = self.bounds[index]
+                fraction = (target - (cumulative - count)) / count
+                return low + fraction * max(high - low, 0.0)
+        return self.bounds[-1]
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "count": int(self.count),
+            "sum": float(self.total),
+            "mean": float(self.mean),
+            "min": float(self.minimum) if self.count else None,
+            "max": float(self.maximum) if self.count else None,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Histogram":
+        """Rebuild a histogram from its :meth:`to_dict` snapshot."""
+        histogram = cls(name=payload["name"],
+                        bounds=tuple(payload["bounds"]),
+                        counts=[int(c) for c in payload["counts"]],
+                        total=float(payload["sum"]),
+                        count=int(payload["count"]))
+        if histogram.count:
+            histogram.minimum = float(payload["min"])
+            histogram.maximum = float(payload["max"])
+        return histogram
+
+
+class Span:
+    """A lightweight trace span (context manager).
+
+    Measures wall-clock duration with ``perf_counter`` and hands one
+    event dict back to its registry on exit (which forwards it to the
+    sink and records the duration in a per-stage histogram); nothing
+    is retained on the span itself, keeping the hot path
+    allocation-light.
+    """
+
+    def __init__(self, registry, name: str,
+                 attributes: Optional[dict] = None):
+        self._registry = registry
+        self.name = name
+        self.attributes = dict(attributes or {})
+        self.duration_s: Optional[float] = None
+        self._start = 0.0
+
+    def set(self, key: str, value) -> None:
+        """Attach one attribute to the span."""
+        self.attributes[key] = value
+
+    def __enter__(self) -> "Span":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.duration_s = time.perf_counter() - self._start
+        self._registry._record_span(
+            self, exc_type.__name__ if exc_type else None)

@@ -1,0 +1,79 @@
+"""Run manifests: stamp benchmark artifacts with provenance.
+
+Every ``BENCH_*.json`` the repo emits should answer three questions
+months later: *which code* produced it (git SHA), *which
+configuration* (a stable hash of the knob dict), and *what the system
+observed while producing it* (the instrument registry snapshot).
+:func:`stamp_report` attaches all three plus a ``schema_version`` so
+downstream gates like ``benchmarks/compare_bench.py`` can evolve the
+format without guessing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Optional
+
+from repro.obs.registry import Registry
+
+#: Version of the stamped benchmark-report format.  Bump when the
+#: report or manifest layout changes incompatibly.
+SCHEMA_VERSION = 2
+
+
+def git_sha(root: Optional[Path] = None) -> str:
+    """The repo's current commit SHA, or ``"unknown"`` outside git."""
+    if root is None:
+        root = Path(__file__).resolve().parents[3]
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"], cwd=root,
+            capture_output=True, text=True, timeout=10)
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def config_hash(config: Optional[dict]) -> str:
+    """Short stable hash of a configuration dict (``"none"`` if empty).
+
+    Canonical JSON (sorted keys, ``str()`` fallback for exotic values)
+    keeps the hash independent of dict ordering and process.
+    """
+    if not config:
+        return "none"
+    canonical = json.dumps(config, sort_keys=True, default=str)
+    return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+
+def run_manifest(config: Optional[dict] = None,
+                 registry: Optional[Registry] = None) -> dict:
+    """Provenance block for one benchmark/experiment run."""
+    return {
+        "git_sha": git_sha(),
+        "config_hash": config_hash(config),
+        "created_unix": time.time(),
+        "python_version": sys.version.split()[0],
+        "platform": platform.platform(),
+        "instruments": registry.snapshot() if registry is not None
+        else None,
+    }
+
+
+def stamp_report(report: dict, config: Optional[dict] = None,
+                 registry: Optional[Registry] = None) -> dict:
+    """Attach ``schema_version`` + ``manifest`` to a report, in place.
+
+    Returns the same dict for chaining; existing keys are preserved so
+    legacy consumers keep working.
+    """
+    report["schema_version"] = SCHEMA_VERSION
+    report["manifest"] = run_manifest(config=config, registry=registry)
+    return report

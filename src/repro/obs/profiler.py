@@ -1,0 +1,116 @@
+"""Opt-in lightweight profiler: hotspot timers with aggregate report.
+
+Where the registry's spans answer "what happened during this run",
+the :class:`Profiler` answers "where did the time go" — wrap candidate
+hotspots in ``with profiler.section("stage"):`` and read
+:meth:`Profiler.report` for a per-stage table of calls, total, mean,
+max, and share of all profiled time.  A disabled profiler hands out a
+shared no-op section, so instrumented code never needs to branch.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass
+class StageStats:
+    """Aggregate timings for one profiled stage."""
+
+    calls: int = 0
+    total_s: float = 0.0
+    max_s: float = 0.0
+
+    @property
+    def mean_s(self) -> float:
+        """Mean per-call time (0 when never called)."""
+        return self.total_s / self.calls if self.calls else 0.0
+
+
+class _Section:
+    """One timed entry into a stage (context manager)."""
+
+    __slots__ = ("_profiler", "_name", "_start")
+
+    def __init__(self, profiler: "Profiler", name: str):
+        self._profiler = profiler
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_Section":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._profiler._record(self._name,
+                               time.perf_counter() - self._start)
+
+
+class _NullSection:
+    """Shared no-op for a disabled profiler."""
+
+    def __enter__(self) -> "_NullSection":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+_NULL_SECTION = _NullSection()
+
+
+class Profiler:
+    """Context-manager hotspot timer with a per-stage aggregate view.
+
+    Args:
+        enabled: ``False`` makes every :meth:`section` a no-op, so a
+            profiler can be threaded through call paths and switched
+            on only when needed.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = bool(enabled)
+        self._stats: Dict[str, StageStats] = {}
+
+    def section(self, name: str):
+        """Time one entry into ``name`` (use as a context manager)."""
+        if not self.enabled:
+            return _NULL_SECTION
+        return _Section(self, name)
+
+    def _record(self, name: str, seconds: float) -> None:
+        stats = self._stats.get(name)
+        if stats is None:
+            stats = self._stats[name] = StageStats()
+        stats.calls += 1
+        stats.total_s += seconds
+        stats.max_s = max(stats.max_s, seconds)
+
+    def stats(self) -> Dict[str, StageStats]:
+        """Per-stage aggregates recorded so far (copy)."""
+        return dict(self._stats)
+
+    def reset(self) -> None:
+        """Drop every recorded stage."""
+        self._stats.clear()
+
+    def report(self) -> str:
+        """Aligned per-stage table, hottest total first."""
+        if not self._stats:
+            return "profiler: no sections recorded"
+        grand_total = sum(s.total_s for s in self._stats.values())
+        width = max(len(name) for name in self._stats)
+        header = (f"{'stage':<{width}}  {'calls':>6}  {'total s':>9}  "
+                  f"{'mean s':>9}  {'max s':>9}  {'share':>6}")
+        lines = [header, "-" * len(header)]
+        ranked = sorted(self._stats.items(),
+                        key=lambda item: item[1].total_s, reverse=True)
+        for name, stats in ranked:
+            share = (stats.total_s / grand_total) if grand_total else 0.0
+            lines.append(
+                f"{name:<{width}}  {stats.calls:>6}  "
+                f"{stats.total_s:>9.4f}  {stats.mean_s:>9.4f}  "
+                f"{stats.max_s:>9.4f}  {share:>5.1%}")
+        return "\n".join(lines)

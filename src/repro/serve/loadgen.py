@@ -25,8 +25,10 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.core.calibration import SensorModel
-from repro.core.estimator import ForceLocationEstimator
 from repro.errors import ServeError
+from repro.obs.manifest import stamp_report
+from repro.obs.profiler import Profiler
+from repro.obs.registry import observed
 from repro.serve.protocol import EstimateRequest, EstimateResponse, SensorConfig
 from repro.serve.scheduler import BatchPolicy
 from repro.serve.service import InferenceService
@@ -137,34 +139,54 @@ async def run_service_load(
 
 
 def run_benchmark(profile: Optional[LoadProfile] = None,
-                  model_factory: Optional[ModelFactory] = None) -> dict:
+                  model_factory: Optional[ModelFactory] = None,
+                  profiler: Optional[Profiler] = None) -> dict:
     """Run the load against the service and the serial baseline.
 
     Returns the JSON-ready report: latency percentiles, throughput,
-    mean batch size, serial-baseline comparison, parity deltas, and
-    the service telemetry snapshot.
+    mean batch size, serial-baseline comparison, parity deltas, the
+    service telemetry snapshot, and a run manifest (git SHA, config
+    hash, and the full shared-registry snapshot — the whole run
+    executes inside :func:`repro.obs.observed`, so estimator and
+    service instruments land in one registry).
+
+    Args:
+        profile: Load shape; paper-default when omitted.
+        model_factory: Config -> model override for the session cache.
+        profiler: Optional hotspot profiler; the bench stages
+            (calibrate / generate / serial baseline / service) are
+            recorded into it when given.
     """
     if profile is None:
         profile = LoadProfile()
+    if profiler is None:
+        profiler = Profiler(enabled=False)
     policy = BatchPolicy(
         max_batch=profile.max_batch,
         max_delay_s=profile.max_delay_s,
         max_queue=max(1024, profile.total_requests),
         enabled=profile.batching,
     )
-    service = InferenceService(policy=policy, model_factory=model_factory)
-    estimator = service.sessions.estimator(profile.config)
-    requests = generate_requests(estimator.model, profile)
+    with observed() as registry:
+        service = InferenceService(policy=policy,
+                                   model_factory=model_factory,
+                                   registry=registry)
+        with profiler.section("calibrate"):
+            estimator = service.sessions.estimator(profile.config)
+        with profiler.section("generate_requests"):
+            requests = generate_requests(estimator.model, profile)
 
-    # Serial baseline: one scalar inversion at a time, the pre-serve
-    # consumption pattern.
-    start = time.perf_counter()
-    serial = [estimator.invert(request.phi1, request.phi2)
-              for request in requests]
-    serial_seconds = time.perf_counter() - start
+        # Serial baseline: one scalar inversion at a time, the
+        # pre-serve consumption pattern.
+        with profiler.section("serial_baseline"):
+            start = time.perf_counter()
+            serial = [estimator.invert(request.phi1, request.phi2)
+                      for request in requests]
+            serial_seconds = time.perf_counter() - start
 
-    responses, service_seconds = asyncio.run(
-        run_service_load(service, requests))
+        with profiler.section("service_load"):
+            responses, service_seconds = asyncio.run(
+                run_service_load(service, requests))
 
     force_delta = max(abs(response.estimate.force - expected.force)
                       for response, expected in zip(responses, serial))
@@ -176,17 +198,18 @@ def run_benchmark(profile: Optional[LoadProfile] = None,
     latencies = np.array([response.latency_s for response in responses])
     batch_sizes = np.array([response.batch_size for response in responses])
     total = len(requests)
-    return {
-        "profile": {
-            "sensors": profile.sensors,
-            "requests_per_sensor": profile.requests_per_sensor,
-            "total_requests": total,
-            "max_batch": profile.max_batch,
-            "max_delay_s": profile.max_delay_s,
-            "batching": profile.batching,
-            "seed": profile.seed,
-            "carrier_frequency": profile.carrier_frequency,
-        },
+    profile_block = {
+        "sensors": profile.sensors,
+        "requests_per_sensor": profile.requests_per_sensor,
+        "total_requests": total,
+        "max_batch": profile.max_batch,
+        "max_delay_s": profile.max_delay_s,
+        "batching": profile.batching,
+        "seed": profile.seed,
+        "carrier_frequency": profile.carrier_frequency,
+    }
+    report = {
+        "profile": profile_block,
         "service": {
             "wall_seconds": service_seconds,
             "throughput_rps": total / service_seconds,
@@ -208,6 +231,7 @@ def run_benchmark(profile: Optional[LoadProfile] = None,
         },
         "telemetry": service.telemetry_snapshot(),
     }
+    return stamp_report(report, config=profile_block, registry=registry)
 
 
 def write_report(report: dict, path) -> Path:

@@ -33,6 +33,7 @@ requests happened to share a micro-batch.
 from __future__ import annotations
 
 import asyncio
+import logging
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional
 
@@ -40,7 +41,10 @@ import numpy as np
 
 from repro.core.estimator import ForceLocationEstimate, ForceLocationEstimator
 from repro.errors import QueueFullError, ServeError
-from repro.serve.telemetry import BATCH_BUCKETS, Telemetry
+from repro.obs.instruments import BATCH_BUCKETS
+from repro.obs.registry import Registry as Telemetry
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -226,6 +230,10 @@ class MicroBatchScheduler:
                 # Batcher failure: degrade to per-request scalar
                 # inversion so one poisoned sample fails alone.
                 span.set("fallback", type(exc).__name__)
+                logger.warning(
+                    "micro-batch flush of %d requests failed (%s: %s); "
+                    "degrading to per-request scalar inversion",
+                    size, type(exc).__name__, exc)
                 self.telemetry.counter("serve.batch_fallbacks").increment()
                 self._resolve_scalar(group.estimator, entries, loop)
                 return

@@ -27,10 +27,11 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.core.tracking import TouchEvent, TrackedSample
 from repro.errors import ServeError
+from repro.obs.instruments import TelemetrySink
+from repro.obs.registry import Registry
 from repro.serve.protocol import EstimateRequest, EstimateResponse
 from repro.serve.scheduler import BatchPolicy, MicroBatchScheduler
 from repro.serve.session import ModelFactory, SessionManager
-from repro.serve.telemetry import Telemetry, TelemetrySink
 
 
 class InferenceService:
@@ -41,17 +42,24 @@ class InferenceService:
         model_factory: Config -> model builder for the session cache.
         baseline_samples: Per-session untouched warmup window (0 when
             streams are already baseline-referenced).
-        sink: Telemetry sink for trace spans.
+        sink: Telemetry sink for trace spans (ignored when
+            ``registry`` is given — the registry owns its sink).
         history: Keep per-session tracked histories (needed for
             touch-event queries; disable for unbounded streams).
+        registry: Share an existing :class:`repro.obs.Registry` (e.g.
+            ``repro.obs.get_registry()``) so the service's instruments
+            land next to the reader/estimator/campaign ones; default
+            is a private registry, keeping services isolated.
     """
 
     def __init__(self, policy: Optional[BatchPolicy] = None,
                  model_factory: Optional[ModelFactory] = None,
                  baseline_samples: int = 0,
                  sink: Optional[TelemetrySink] = None,
-                 history: bool = True):
-        self.telemetry = Telemetry(sink)
+                 history: bool = True,
+                 registry: Optional[Registry] = None):
+        self.telemetry = registry if registry is not None \
+            else Registry(sink)
         self.sessions = SessionManager(model_factory,
                                        baseline_samples=baseline_samples,
                                        history=history)

@@ -1,235 +1,43 @@
-"""Built-in service telemetry: counters, histograms, trace spans.
+"""Service telemetry — thin re-export of the shared ``repro.obs`` layer.
 
-The scheduler's hot path increments counters and observes histograms
-on every request, so the instruments here are deliberately tiny —
-plain attribute updates, no locks (the service is single-event-loop)
-and no external dependencies.  A :class:`Telemetry` registry owns the
-instruments, snapshots them as a JSON-ready dict, and forwards span
-events to a pluggable sink (:class:`MemorySink` for tests and the
-bench report, :class:`NullSink` by default).
-
-Latency histograms use fixed log-spaced bucket bounds; exact
-percentiles for benchmark reports should be computed from the raw
-samples (the load generator does), while :meth:`Histogram.quantile`
-gives the usual bucket-interpolated estimate for monitoring.
+The instruments that used to live here (counters, histograms, trace
+spans, pluggable sinks) were promoted to :mod:`repro.obs` so the whole
+stack — reader, estimator, tracker, campaign executor — shares one
+registry with the inference service.  This module keeps the historical
+import surface: ``Telemetry`` is an alias of
+:class:`repro.obs.Registry`, and the instrument classes and bucket
+presets are the shared ones.  New code should import from
+``repro.obs`` directly.
 """
 
 from __future__ import annotations
 
-import json
-import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from repro.obs.instruments import (
+    BATCH_BUCKETS,
+    LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MemorySink,
+    NullSink,
+    Span,
+    TelemetrySink,
+)
+from repro.obs.registry import Registry
 
-from repro.errors import ServeError
+#: Historical name for the shared instrument registry.
+Telemetry = Registry
 
-#: Default latency buckets [s]: 100 us .. ~5 s, log-spaced.
-LATENCY_BUCKETS = (1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1, 3e-1,
-                   1.0, 5.0)
-
-#: Default batch-size buckets [requests].
-BATCH_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
-
-
-class TelemetrySink:
-    """Receives span/event dicts; subclass to export elsewhere."""
-
-    def emit(self, event: dict) -> None:
-        """Handle one event dict (override)."""
-        raise NotImplementedError
-
-
-class NullSink(TelemetrySink):
-    """Discards every event (the default)."""
-
-    def emit(self, event: dict) -> None:
-        pass
-
-
-class MemorySink(TelemetrySink):
-    """Keeps every event in a list (tests, bench reports)."""
-
-    def __init__(self) -> None:
-        self.events: List[dict] = []
-
-    def emit(self, event: dict) -> None:
-        self.events.append(event)
-
-
-@dataclass
-class Counter:
-    """A monotonically increasing count."""
-
-    name: str
-    value: int = 0
-
-    def increment(self, amount: int = 1) -> None:
-        """Add ``amount`` (must be >= 0)."""
-        if amount < 0:
-            raise ServeError(f"counter {self.name} cannot decrease")
-        self.value += amount
-
-    def to_dict(self) -> dict:
-        return {"name": self.name, "value": int(self.value)}
-
-
-@dataclass
-class Histogram:
-    """Fixed-bucket histogram with running count/sum/min/max.
-
-    ``bounds`` are upper bucket edges; observations above the last
-    bound land in the implicit overflow bucket.
-    """
-
-    name: str
-    bounds: Tuple[float, ...] = LATENCY_BUCKETS
-    counts: List[int] = field(default_factory=list)
-    total: float = 0.0
-    count: int = 0
-    minimum: float = float("inf")
-    maximum: float = float("-inf")
-
-    def __post_init__(self) -> None:
-        bounds = tuple(float(b) for b in self.bounds)
-        if not bounds or any(b2 <= b1 for b1, b2
-                             in zip(bounds, bounds[1:])):
-            raise ServeError(
-                f"histogram {self.name} needs strictly ascending "
-                f"bucket bounds, got {bounds}"
-            )
-        self.bounds = bounds
-        if not self.counts:
-            self.counts = [0] * (len(bounds) + 1)
-
-    def observe(self, value: float) -> None:
-        """Record one observation."""
-        value = float(value)
-        index = 0
-        for index, bound in enumerate(self.bounds):
-            if value <= bound:
-                break
-        else:
-            index = len(self.bounds)
-        self.counts[index] += 1
-        self.count += 1
-        self.total += value
-        self.minimum = min(self.minimum, value)
-        self.maximum = max(self.maximum, value)
-
-    @property
-    def mean(self) -> float:
-        """Mean observation (0 when empty)."""
-        return self.total / self.count if self.count else 0.0
-
-    def quantile(self, q: float) -> float:
-        """Bucket-interpolated quantile estimate (0 when empty)."""
-        if not 0.0 <= q <= 1.0:
-            raise ServeError(f"quantile must be in [0, 1], got {q}")
-        if not self.count:
-            return 0.0
-        target = q * self.count
-        cumulative = 0
-        for index, count in enumerate(self.counts):
-            cumulative += count
-            if cumulative >= target and count:
-                low = 0.0 if index == 0 else self.bounds[index - 1]
-                high = (self.maximum if index == len(self.bounds)
-                        else self.bounds[index])
-                fraction = (target - (cumulative - count)) / count
-                return low + fraction * max(high - low, 0.0)
-        return self.maximum
-
-    def to_dict(self) -> dict:
-        return {
-            "name": self.name,
-            "bounds": list(self.bounds),
-            "counts": list(self.counts),
-            "count": int(self.count),
-            "sum": float(self.total),
-            "mean": float(self.mean),
-            "min": float(self.minimum) if self.count else None,
-            "max": float(self.maximum) if self.count else None,
-        }
-
-
-class Span:
-    """A lightweight trace span (context manager).
-
-    Measures wall-clock duration with ``perf_counter`` and emits one
-    event dict to the telemetry sink on exit; nothing is retained on
-    the span itself, keeping the hot path allocation-light.
-    """
-
-    def __init__(self, telemetry: "Telemetry", name: str,
-                 attributes: Optional[dict] = None):
-        self._telemetry = telemetry
-        self.name = name
-        self.attributes = dict(attributes or {})
-        self.duration_s: Optional[float] = None
-        self._start = 0.0
-
-    def set(self, key: str, value) -> None:
-        """Attach one attribute to the span."""
-        self.attributes[key] = value
-
-    def __enter__(self) -> "Span":
-        self._start = time.perf_counter()
-        return self
-
-    def __exit__(self, exc_type, exc, tb) -> None:
-        self.duration_s = time.perf_counter() - self._start
-        event = {
-            "span": self.name,
-            "duration_s": self.duration_s,
-            "error": exc_type.__name__ if exc_type else None,
-        }
-        event.update(self.attributes)
-        self._telemetry.sink.emit(event)
-
-
-class Telemetry:
-    """Instrument registry with a JSON snapshot and pluggable sink.
-
-    Args:
-        sink: Where span events go; default discards them.
-    """
-
-    def __init__(self, sink: Optional[TelemetrySink] = None):
-        self.sink = sink if sink is not None else NullSink()
-        self._counters: Dict[str, Counter] = {}
-        self._histograms: Dict[str, Histogram] = {}
-
-    def counter(self, name: str) -> Counter:
-        """Get or create the named counter."""
-        counter = self._counters.get(name)
-        if counter is None:
-            counter = self._counters[name] = Counter(name)
-        return counter
-
-    def histogram(self, name: str,
-                  bounds: Sequence[float] = LATENCY_BUCKETS) -> Histogram:
-        """Get or create the named histogram."""
-        histogram = self._histograms.get(name)
-        if histogram is None:
-            histogram = self._histograms[name] = Histogram(
-                name, tuple(bounds))
-        return histogram
-
-    def span(self, name: str,
-             attributes: Optional[dict] = None) -> Span:
-        """Open a trace span (use as a context manager)."""
-        return Span(self, name, attributes)
-
-    def snapshot(self) -> dict:
-        """All instrument states as a JSON-ready dict."""
-        return {
-            "counters": {name: counter.value
-                         for name, counter in sorted(self._counters.items())},
-            "histograms": {name: histogram.to_dict()
-                           for name, histogram
-                           in sorted(self._histograms.items())},
-        }
-
-    def to_json(self, indent: Optional[int] = 2) -> str:
-        """The snapshot as JSON text."""
-        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+__all__ = [
+    "BATCH_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BUCKETS",
+    "MemorySink",
+    "NullSink",
+    "Registry",
+    "Span",
+    "Telemetry",
+    "TelemetrySink",
+]

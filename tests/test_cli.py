@@ -1,5 +1,7 @@
 """CLI tests (python -m repro ...)."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -13,6 +15,24 @@ class TestParser:
     def test_info_parses(self):
         args = build_parser().parse_args(["info"])
         assert args.command == "info"
+
+    def test_log_level_parses(self):
+        args = build_parser().parse_args(["--log-level", "debug", "info"])
+        assert args.log_level == "debug"
+
+    def test_log_level_default_info(self):
+        assert build_parser().parse_args(["info"]).log_level == "info"
+
+    def test_log_level_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--log-level", "loud", "info"])
+
+    def test_obs_report_parses(self):
+        args = build_parser().parse_args(
+            ["obs-report", "--input", "x.json", "--prometheus"])
+        assert args.command == "obs-report"
+        assert args.input == "x.json"
+        assert args.prometheus is True
 
     def test_calibrate_defaults(self):
         args = build_parser().parse_args(["calibrate"])
@@ -56,6 +76,62 @@ class TestCommands:
                      "--repeats", "1"]) == 0
         output = capsys.readouterr().out
         assert "estimated:" in output
+
+
+class TestObsReport:
+    @pytest.fixture()
+    def stamped_report(self, tmp_path):
+        """A minimal bench report stamped exactly like the emitters do."""
+        from repro.obs import Registry, stamp_report
+
+        registry = Registry()
+        registry.counter("estimator.batch_inversions").increment(8)
+        registry.gauge("campaign.worker_utilization").set(0.9)
+        registry.histogram("serve.latency_seconds").observe(0.004)
+        with registry.span("serve.flush"):
+            pass
+        report = stamp_report({"service": {"throughput_rps": 1000.0}},
+                              config={"sensors": 8}, registry=registry)
+        path = tmp_path / "BENCH_serve.json"
+        path.write_text(json.dumps(report))
+        return path
+
+    def test_summarizes_stamped_report(self, stamped_report, capsys):
+        assert main(["obs-report", "--input", str(stamped_report)]) == 0
+        output = capsys.readouterr().out
+        assert "schema_version : 2" in output
+        assert "estimator.batch_inversions" in output
+        assert "campaign.worker_utilization" in output
+        assert "serve.latency_seconds" in output
+        assert "span.serve.flush.seconds" in output
+        # Per-stage stats columns come from the snapshot histograms.
+        assert "p99" in output
+
+    def test_prometheus_dump(self, stamped_report, capsys):
+        assert main(["obs-report", "--input", str(stamped_report),
+                     "--prometheus"]) == 0
+        output = capsys.readouterr().out
+        assert "# TYPE repro_estimator_batch_inversions counter" in output
+        assert 'repro_serve_latency_seconds_bucket{le="+Inf"} 1' in output
+
+    def test_missing_file_fails(self, tmp_path):
+        assert main(["obs-report", "--input",
+                     str(tmp_path / "absent.json")]) == 1
+
+    def test_report_without_snapshot_fails(self, tmp_path):
+        path = tmp_path / "bare.json"
+        path.write_text(json.dumps({"service": {}}))
+        assert main(["obs-report", "--input", str(path)]) == 1
+
+    def test_pre_manifest_report_falls_back_to_telemetry(self, tmp_path,
+                                                         capsys):
+        path = tmp_path / "old.json"
+        path.write_text(json.dumps(
+            {"telemetry": {"counters": {"requests.total": 4}}}))
+        assert main(["obs-report", "--input", str(path)]) == 0
+        output = capsys.readouterr().out
+        assert "schema_version : 1" in output
+        assert "requests.total" in output
 
 
 @pytest.mark.integration

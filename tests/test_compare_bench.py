@@ -1,0 +1,163 @@
+"""The perf-regression gate: benchmarks/compare_bench.py.
+
+The script lives in ``benchmarks/`` (not a package), so it is loaded
+via importlib straight from its path — exactly how CI executes it.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = (Path(__file__).parent.parent / "benchmarks"
+           / "compare_bench.py")
+
+
+def _load():
+    spec = importlib.util.spec_from_file_location("compare_bench",
+                                                  _SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+compare_bench = _load()
+
+ESTIMATOR_BASELINE = {
+    "n_samples": 1000,
+    "scalar_seconds": 0.60,
+    "batch_seconds": 0.10,
+    "batch_speedup": 6.0,
+}
+
+SERVE_BASELINE = {
+    "speedup_vs_serial": 2.0,
+    "service": {"throughput_rps": 4000.0},
+    "serial_baseline": {"throughput_rps": 2000.0},
+}
+
+
+class TestExtractMetrics:
+    def test_estimator_schema_ratio_only(self):
+        metrics = compare_bench.extract_metrics(ESTIMATOR_BASELINE)
+        assert metrics == {"batch_speedup": 6.0}
+
+    def test_estimator_schema_absolute(self):
+        metrics = compare_bench.extract_metrics(ESTIMATOR_BASELINE,
+                                                absolute=True)
+        assert metrics["batch_inversions_per_s"] == pytest.approx(10000.0)
+        assert metrics["scalar_inversions_per_s"] == pytest.approx(
+            1000 / 0.60)
+
+    def test_serve_schema(self):
+        assert compare_bench.extract_metrics(SERVE_BASELINE) == {
+            "speedup_vs_serial": 2.0}
+        absolute = compare_bench.extract_metrics(SERVE_BASELINE,
+                                                 absolute=True)
+        assert absolute["service_throughput_rps"] == 4000.0
+        assert absolute["serial_throughput_rps"] == 2000.0
+
+    def test_unknown_schema_is_empty(self):
+        assert compare_bench.extract_metrics({"something": 1}) == {}
+
+
+class TestCompare:
+    def test_small_drop_passes(self):
+        fresh = dict(ESTIMATOR_BASELINE, batch_speedup=5.5)
+        lines, failures = compare_bench.compare(ESTIMATOR_BASELINE, fresh)
+        assert failures == []
+        assert any("ok" in line for line in lines)
+
+    def test_large_drop_fails(self):
+        fresh = dict(ESTIMATOR_BASELINE, batch_speedup=4.0)  # -33%
+        _, failures = compare_bench.compare(ESTIMATOR_BASELINE, fresh)
+        assert len(failures) == 1
+        assert "batch_speedup" in failures[0]
+        assert "33.3%" in failures[0]
+
+    def test_improvement_passes(self):
+        fresh = dict(ESTIMATOR_BASELINE, batch_speedup=9.0)
+        _, failures = compare_bench.compare(ESTIMATOR_BASELINE, fresh)
+        assert failures == []
+
+    def test_gate_threshold_is_configurable(self):
+        fresh = dict(ESTIMATOR_BASELINE, batch_speedup=5.5)  # -8.3%
+        _, failures = compare_bench.compare(ESTIMATOR_BASELINE, fresh,
+                                            max_regression=0.05)
+        assert failures
+
+    def test_missing_fresh_metric_fails(self):
+        _, failures = compare_bench.compare(ESTIMATOR_BASELINE,
+                                            {"something": 1})
+        assert any("missing" in f for f in failures)
+
+    def test_empty_baseline_fails(self):
+        _, failures = compare_bench.compare({"something": 1},
+                                            ESTIMATOR_BASELINE)
+        assert failures == ["baseline report carries no tracked metrics"]
+
+    def test_non_positive_baseline_skipped(self):
+        baseline = {"batch_speedup": 0.0}
+        lines, failures = compare_bench.compare(
+            baseline, {"batch_speedup": 1.0})
+        assert failures == []
+        assert any("skip" in line for line in lines)
+
+
+class TestMain:
+    def _write(self, tmp_path, name, payload):
+        path = tmp_path / name
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_exit_zero_on_pass(self, tmp_path, capsys):
+        baseline = self._write(tmp_path, "base.json", ESTIMATOR_BASELINE)
+        fresh = self._write(tmp_path, "fresh.json",
+                            dict(ESTIMATOR_BASELINE, batch_speedup=5.8))
+        assert compare_bench.main(["--baseline", baseline,
+                                   "--fresh", fresh]) == 0
+        out = capsys.readouterr().out
+        assert "perf gate passed" in out
+
+    def test_exit_one_on_regression(self, tmp_path, capsys):
+        baseline = self._write(tmp_path, "base.json", ESTIMATOR_BASELINE)
+        fresh = self._write(tmp_path, "fresh.json",
+                            dict(ESTIMATOR_BASELINE, batch_speedup=3.0))
+        assert compare_bench.main(["--baseline", baseline,
+                                   "--fresh", fresh]) == 1
+        captured = capsys.readouterr()
+        assert "REGRESSION" in captured.err
+        assert "FAIL" in captured.out
+
+    def test_absolute_flag_gates_throughput(self, tmp_path, capsys):
+        baseline = self._write(tmp_path, "base.json", SERVE_BASELINE)
+        slow = {
+            "speedup_vs_serial": 2.0,  # ratio unchanged
+            "service": {"throughput_rps": 1000.0},  # -75% absolute
+            "serial_baseline": {"throughput_rps": 500.0},
+        }
+        fresh = self._write(tmp_path, "fresh.json", slow)
+        assert compare_bench.main(["--baseline", baseline,
+                                   "--fresh", fresh]) == 0
+        assert compare_bench.main(["--baseline", baseline,
+                                   "--fresh", fresh, "--absolute"]) == 1
+        capsys.readouterr()
+
+    def test_rejects_bad_threshold(self, tmp_path):
+        baseline = self._write(tmp_path, "base.json", ESTIMATOR_BASELINE)
+        with pytest.raises(SystemExit):
+            compare_bench.main(["--baseline", baseline,
+                                "--fresh", baseline,
+                                "--max-regression", "1.5"])
+
+    def test_gates_committed_baselines(self, capsys):
+        """The committed BENCH_*.json files pass against themselves."""
+        results = _SCRIPT.parent / "results"
+        for name in ("BENCH_estimator.json", "BENCH_serve.json"):
+            path = results / name
+            assert compare_bench.main(["--baseline", str(path),
+                                       "--fresh", str(path)]) == 0
+        capsys.readouterr()

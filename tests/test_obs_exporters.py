@@ -1,0 +1,104 @@
+"""Exporters: Prometheus text rendering and JSON snapshot round-trips."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs import (
+    Registry,
+    registry_from_snapshot,
+    to_prometheus,
+    write_snapshot,
+)
+
+GOLDEN = Path(__file__).parent / "data" / "obs_prometheus.golden.txt"
+
+
+def _example_registry() -> Registry:
+    """Deterministic instruments matching the committed golden file."""
+    registry = Registry()
+    registry.counter("estimator.inversions").increment(3)
+    registry.gauge("campaign.worker_utilization").set(0.75)
+    histogram = registry.histogram("reader.capture_seconds",
+                                   bounds=(1.0, 2.0))
+    for value in (0.5, 1.5, 4.0):
+        histogram.observe(value)
+    return registry
+
+
+class TestPrometheus:
+    def test_matches_golden_file(self):
+        """The text exposition format is a contract — diff vs golden."""
+        assert to_prometheus(_example_registry()) == GOLDEN.read_text()
+
+    def test_accepts_snapshot_dict(self):
+        registry = _example_registry()
+        assert (to_prometheus(registry.snapshot())
+                == to_prometheus(registry))
+
+    def test_empty_registry_renders_empty(self):
+        assert to_prometheus(Registry()) == ""
+
+    def test_names_are_sanitized(self):
+        registry = Registry()
+        registry.counter("serve/flush-errors.total").increment()
+        text = to_prometheus(registry)
+        assert "repro_serve_flush_errors_total 1" in text
+
+    def test_custom_prefix(self):
+        registry = Registry()
+        registry.counter("c").increment()
+        assert "wiforce_c 1" in to_prometheus(registry, prefix="wiforce")
+
+    def test_buckets_are_cumulative(self):
+        text = to_prometheus(_example_registry())
+        lines = [line for line in text.splitlines() if "_bucket" in line]
+        counts = [int(line.rsplit(" ", 1)[1]) for line in lines]
+        assert counts == sorted(counts)
+        assert counts[-1] == 3  # +Inf bucket equals the total count
+
+
+class TestSnapshotRoundTrip:
+    def test_registry_round_trips_through_dict(self):
+        registry = _example_registry()
+        rebuilt = registry_from_snapshot(registry.snapshot())
+        assert rebuilt.snapshot() == registry.snapshot()
+
+    def test_registry_round_trips_through_file(self, tmp_path):
+        registry = _example_registry()
+        path = write_snapshot(registry, tmp_path / "obs" / "snap.json")
+        assert path.exists()
+        assert json.loads(path.read_text())["counters"] == {
+            "estimator.inversions": 3}
+        rebuilt = registry_from_snapshot(path)
+        assert rebuilt.snapshot() == registry.snapshot()
+
+    def test_reloaded_quantiles_match(self):
+        registry = _example_registry()
+        original = registry.histogram("reader.capture_seconds")
+        rebuilt = registry_from_snapshot(registry.snapshot())
+        reloaded = rebuilt.histogram("reader.capture_seconds")
+        for q in (0.0, 0.5, 0.9, 1.0):
+            assert reloaded.quantile(q) == original.quantile(q)
+        assert reloaded.minimum == original.minimum
+        assert reloaded.maximum == original.maximum
+
+    def test_write_snapshot_accepts_plain_dict(self, tmp_path):
+        snapshot = _example_registry().snapshot()
+        path = write_snapshot(snapshot, tmp_path / "snap.json")
+        assert registry_from_snapshot(path).snapshot() == snapshot
+
+    def test_rebuilt_histogram_keeps_observing(self):
+        rebuilt = registry_from_snapshot(_example_registry().snapshot())
+        histogram = rebuilt.histogram("reader.capture_seconds")
+        histogram.observe(0.25)
+        assert histogram.count == 4
+        assert histogram.minimum == 0.25
+
+
+def test_snapshot_load_rejects_missing_file(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        registry_from_snapshot(tmp_path / "absent.json")

@@ -1,0 +1,140 @@
+"""Shared observability registry: gauges, gating, scoped observation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import (
+    MemorySink,
+    Registry,
+    active,
+    disable,
+    enable,
+    enable_from_env,
+    get_registry,
+    is_enabled,
+    maybe_span,
+    observed,
+    set_registry,
+)
+from repro.obs.registry import _NULL_SPAN
+
+
+@pytest.fixture(autouse=True)
+def _restore_obs_state():
+    """Snapshot and restore the process-wide obs state per test."""
+    previous_registry = get_registry()
+    previous_enabled = is_enabled()
+    yield
+    set_registry(previous_registry)
+    if previous_enabled:
+        enable()
+    else:
+        disable()
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        gauge = Registry().gauge("queue_depth")
+        gauge.set(4.0)
+        gauge.add(-1.5)
+        assert gauge.value == 2.5
+
+    def test_registry_reuses_instance(self):
+        registry = Registry()
+        assert registry.gauge("g") is registry.gauge("g")
+        assert registry.counter("c") is registry.counter("c")
+        assert registry.histogram("h") is registry.histogram("h")
+
+
+class TestGating:
+    def test_off_by_default_state(self):
+        disable()
+        assert not is_enabled()
+        assert active() is None
+
+    def test_enable_returns_default_registry(self):
+        registry = enable()
+        assert is_enabled()
+        assert active() is registry
+        assert registry is get_registry()
+
+    def test_enable_installs_given_registry(self):
+        mine = Registry()
+        assert enable(mine) is mine
+        assert get_registry() is mine
+
+    def test_disable_keeps_instruments(self):
+        registry = enable()
+        registry.counter("kept").increment()
+        disable()
+        assert active() is None
+        assert get_registry().counter("kept").value == 1
+
+    @pytest.mark.parametrize("value,expected", [
+        ("1", True), ("true", True), ("yes", True), ("on", True),
+        ("0", False), ("false", False), ("no", False), ("", False),
+        ("  ", False), ("FALSE", False),
+    ])
+    def test_enable_from_env(self, value, expected):
+        disable()
+        assert enable_from_env({"REPRO_OBS": value}) is expected
+        assert is_enabled() is expected
+
+    def test_enable_from_env_unset(self):
+        disable()
+        assert enable_from_env({}) is False
+
+
+class TestMaybeSpan:
+    def test_disabled_returns_shared_noop(self):
+        disable()
+        span = maybe_span("stage", {"k": 1})
+        assert span is _NULL_SPAN
+        with span as s:
+            s.set("ignored", True)  # must be harmless
+
+    def test_enabled_records_span(self):
+        registry = Registry()
+        enable(registry)
+        with maybe_span("stage") as span:
+            span.set("k", 2)
+        histograms = registry.snapshot()["histograms"]
+        assert histograms["span.stage.seconds"]["count"] == 1
+
+
+class TestObserved:
+    def test_scopes_a_fresh_registry(self):
+        disable()
+        with observed() as registry:
+            assert is_enabled()
+            assert active() is registry
+            registry.counter("inside").increment()
+        assert not is_enabled()
+        assert "inside" not in get_registry().snapshot()["counters"]
+
+    def test_restores_previous_enabled_state(self):
+        outer = enable()
+        with observed() as inner:
+            assert active() is inner
+        assert is_enabled()
+        assert active() is outer
+
+    def test_restores_on_exception(self):
+        disable()
+        with pytest.raises(RuntimeError):
+            with observed():
+                raise RuntimeError("boom")
+        assert not is_enabled()
+
+    def test_accepts_sink(self):
+        sink = MemorySink()
+        with observed(sink) as registry:
+            with registry.span("s"):
+                pass
+        assert sink.events[0]["span"] == "s"
+
+    def test_accepts_existing_registry(self):
+        mine = Registry()
+        with observed(registry=mine) as registry:
+            assert registry is mine

@@ -1,0 +1,81 @@
+"""Opt-in profiler: aggregation, report table, disabled no-op."""
+
+from __future__ import annotations
+
+import time
+
+from repro.obs import Profiler
+from repro.obs.profiler import _NULL_SECTION
+
+
+class TestAggregation:
+    def test_records_calls_and_totals(self):
+        profiler = Profiler()
+        for _ in range(3):
+            with profiler.section("stage"):
+                pass
+        stats = profiler.stats()["stage"]
+        assert stats.calls == 3
+        assert stats.total_s >= 0.0
+        assert stats.max_s >= stats.mean_s
+
+    def test_mean_is_total_over_calls(self):
+        profiler = Profiler()
+        profiler._record("s", 1.0)
+        profiler._record("s", 3.0)
+        stats = profiler.stats()["s"]
+        assert stats.mean_s == 2.0
+        assert stats.max_s == 3.0
+
+    def test_sections_time_wall_clock(self):
+        profiler = Profiler()
+        with profiler.section("sleep"):
+            time.sleep(0.01)
+        assert profiler.stats()["sleep"].total_s >= 0.009
+
+    def test_records_even_when_body_raises(self):
+        profiler = Profiler()
+        try:
+            with profiler.section("boom"):
+                raise ValueError("x")
+        except ValueError:
+            pass
+        assert profiler.stats()["boom"].calls == 1
+
+    def test_reset_clears(self):
+        profiler = Profiler()
+        with profiler.section("s"):
+            pass
+        profiler.reset()
+        assert profiler.stats() == {}
+
+
+class TestDisabled:
+    def test_disabled_hands_out_shared_noop(self):
+        profiler = Profiler(enabled=False)
+        section = profiler.section("ignored")
+        assert section is _NULL_SECTION
+        with section:
+            pass
+        assert profiler.stats() == {}
+
+    def test_disabled_report_is_empty_message(self):
+        assert (Profiler(enabled=False).report()
+                == "profiler: no sections recorded")
+
+
+class TestReport:
+    def test_table_ranks_by_total(self):
+        profiler = Profiler()
+        profiler._record("cold", 0.1)
+        profiler._record("hot", 0.9)
+        report = profiler.report()
+        lines = report.splitlines()
+        assert "stage" in lines[0] and "share" in lines[0]
+        assert lines[2].startswith("hot")
+        assert lines[3].startswith("cold")
+        assert "90.0%" in lines[2]
+        assert "10.0%" in lines[3]
+
+    def test_empty_report_message(self):
+        assert Profiler().report() == "profiler: no sections recorded"

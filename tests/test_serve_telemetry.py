@@ -1,12 +1,18 @@
-"""Telemetry instruments: counters, histograms, spans, snapshots."""
+"""Telemetry instruments: counters, histograms, spans, snapshots.
+
+These instruments now live in :mod:`repro.obs.instruments`;
+``repro.serve.telemetry`` is a compatibility shim.  The tests import
+through the shim on purpose — existing serve code must keep working.
+"""
 
 from __future__ import annotations
 
 import json
+import math
 
 import pytest
 
-from repro.errors import ServeError
+from repro.errors import ObservabilityError
 from repro.serve.telemetry import (
     BATCH_BUCKETS,
     Histogram,
@@ -24,7 +30,7 @@ class TestCounter:
         assert telemetry.counter("requests").value == 5
 
     def test_rejects_decrease(self):
-        with pytest.raises(ServeError):
+        with pytest.raises(ObservabilityError):
             Telemetry().counter("x").increment(-1)
 
 
@@ -47,17 +53,38 @@ class TestHistogram:
         assert 1.0 <= quantile <= 2.0
         assert histogram.quantile(0.0) <= histogram.quantile(1.0)
 
-    def test_empty_quantile_is_zero(self):
-        assert Histogram("h", bounds=(1.0,)).quantile(0.99) == 0.0
+    def test_empty_quantile_is_nan(self):
+        """Prometheus semantics: no observations means no quantile."""
+        assert math.isnan(Histogram("h", bounds=(1.0,)).quantile(0.99))
+        assert math.isnan(Histogram("h", bounds=(1.0,)).quantile(0.0))
+
+    def test_overflow_quantile_clamps_to_largest_bound(self):
+        """All mass beyond the last bound clamps, never invents values."""
+        histogram = Histogram("h", bounds=(1.0, 2.0))
+        for _ in range(10):
+            histogram.observe(100.0)
+        assert histogram.quantile(0.5) == 2.0
+        assert histogram.quantile(0.99) == 2.0
+
+    def test_mixed_overflow_quantile(self):
+        """Quantiles below the overflow mass still use finite buckets."""
+        histogram = Histogram("h", bounds=(1.0, 2.0))
+        for _ in range(9):
+            histogram.observe(0.5)
+        histogram.observe(50.0)
+        # Median interpolates inside the first finite bucket...
+        assert 0.0 < histogram.quantile(0.5) <= 1.0
+        # ...while the tail that lands in overflow clamps to the bound.
+        assert histogram.quantile(0.99) == 2.0
 
     def test_invalid_bounds_rejected(self):
-        with pytest.raises(ServeError):
+        with pytest.raises(ObservabilityError):
             Histogram("bad", bounds=(2.0, 1.0))
-        with pytest.raises(ServeError):
+        with pytest.raises(ObservabilityError):
             Histogram("empty", bounds=())
 
     def test_invalid_quantile_rejected(self):
-        with pytest.raises(ServeError):
+        with pytest.raises(ObservabilityError):
             Histogram("h", bounds=(1.0,)).quantile(1.5)
 
 
@@ -82,6 +109,14 @@ class TestSpan:
             with telemetry.span("flush"):
                 raise RuntimeError("boom")
         assert sink.events[0]["error"] == "RuntimeError"
+
+    def test_span_duration_lands_in_histogram(self):
+        """Spans double as latency histograms in the snapshot."""
+        telemetry = Telemetry()
+        with telemetry.span("flush"):
+            pass
+        snapshot = telemetry.snapshot()
+        assert snapshot["histograms"]["span.flush.seconds"]["count"] == 1
 
 
 class TestSnapshot:
