@@ -40,6 +40,9 @@ def extract_metrics(report: dict, absolute: bool = False
     if absolute and report.get("scalar_seconds") and "n_samples" in report:
         metrics["scalar_inversions_per_s"] = (
             report["n_samples"] / report["scalar_seconds"])
+    # BENCH_cache.json shape.
+    if "warm_speedup" in report:
+        metrics["warm_speedup"] = float(report["warm_speedup"])
     # BENCH_serve.json shape.
     if "speedup_vs_serial" in report:
         metrics["speedup_vs_serial"] = float(report["speedup_vs_serial"])

@@ -1,0 +1,63 @@
+"""``repro.cache`` — content-addressed artifact cache + memoization.
+
+Every expensive *deterministic* computation in the stack — the
+finite-difference contact solves behind
+:class:`~repro.mechanics.contact.ContactMap`, the harmonic calibration
+fits behind :func:`~repro.core.calibration.calibrate_harmonic_observable`,
+the per-toleranced-unit calibrations in the Monte-Carlo campaigns — is
+a pure function of its configuration.  This package memoizes them on
+disk, content-addressed by a versioned sha256 of the inputs, so every
+process on a machine (CI runs, :class:`CampaignExecutor` workers,
+serve replicas) shares one warm artifact store instead of paying the
+cold start N times.
+
+Two tiers: a bounded in-memory LRU in front of an atomic-write disk
+store.  Operationally:
+
+* ``REPRO_CACHE=0`` — kill switch, bypasses both tiers (bit-identical
+  results, just slower).
+* ``REPRO_CACHE_DIR`` — relocate the store (default
+  ``~/.cache/repro``).
+* ``python -m repro cache stats|prune|clear`` — inspect and maintain.
+
+See DESIGN.md ("Artifact cache") for the key schema and invalidation
+rules.
+"""
+
+from repro.cache.decorator import cached_artifact
+from repro.cache.keys import KEY_SCHEMA_VERSION, canonicalize, key_digest
+from repro.cache.store import (
+    CACHE_DIR_ENV,
+    CACHE_ENV,
+    FORMAT_VERSION,
+    ArtifactCache,
+    CacheConfig,
+    CacheStats,
+    clear,
+    config_from_env,
+    directory_stats,
+    get_cache,
+    prune,
+    set_cache,
+    temporary_cache,
+)
+
+__all__ = [
+    "ArtifactCache",
+    "CACHE_DIR_ENV",
+    "CACHE_ENV",
+    "CacheConfig",
+    "CacheStats",
+    "FORMAT_VERSION",
+    "KEY_SCHEMA_VERSION",
+    "cached_artifact",
+    "canonicalize",
+    "clear",
+    "config_from_env",
+    "directory_stats",
+    "get_cache",
+    "key_digest",
+    "prune",
+    "set_cache",
+    "temporary_cache",
+]

@@ -1,0 +1,66 @@
+"""``@cached_artifact`` — cross-process memoization for pure functions.
+
+The decorator form of :meth:`ArtifactCache.get_or_compute`: it keys on
+a versioned sha256 of the function's qualified name plus its
+canonicalized arguments, so any process that has ever evaluated the
+same call finds the artifact on disk instead of recomputing.
+
+Only use it on functions whose value is fully determined by their
+arguments (no hidden state, no RNG).  When an argument is not
+key-material by itself — e.g. a :class:`~repro.sensor.tag.WiForceTag`
+whose identity lives in its transducer spec — pass ``key=`` to derive
+an explicit key dict from the call.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Any, Callable, Optional
+
+from repro.cache.store import get_cache
+
+
+def cached_artifact(namespace: Optional[str] = None, version: int = 1,
+                    key: Optional[Callable[..., Any]] = None,
+                    encode: Optional[Callable[[Any], Any]] = None,
+                    decode: Optional[Callable[[Any], Any]] = None
+                    ) -> Callable[[Callable[..., Any]],
+                                  Callable[..., Any]]:
+    """Memoize a deterministic function through the artifact cache.
+
+    Args:
+        namespace: Artifact family; defaults to the function's
+            ``module.qualname``.
+        version: Artifact version — **bump whenever the function's
+            output for the same arguments can change**, which strands
+            (never serves) every stale entry.
+        key: Optional ``(*args, **kwargs) -> key material`` reducer;
+            defaults to the raw argument tuple/dict, which must then be
+            canonicalizable by :func:`repro.cache.keys.canonicalize`.
+        encode / decode: Stable payload codec (e.g.
+            ``SensorModel.to_dict`` / ``from_dict``).  ``decode`` runs
+            on every hit, so it should return a fresh object.
+    """
+
+    def wrap(function: Callable[..., Any]) -> Callable[..., Any]:
+        artifact_namespace = namespace or (
+            f"{function.__module__}.{function.__qualname__}")
+
+        @functools.wraps(function)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            cache = get_cache()
+            if not cache.enabled:
+                return function(*args, **kwargs)
+            key_material = (key(*args, **kwargs) if key is not None
+                            else {"args": list(args), "kwargs": kwargs})
+            return cache.get_or_compute(
+                artifact_namespace, version, key_material,
+                lambda: function(*args, **kwargs),
+                encode=encode, decode=decode)
+
+        wrapper.__wrapped__ = function
+        wrapper.cache_namespace = artifact_namespace
+        wrapper.cache_version = version
+        return wrapper
+
+    return wrap

@@ -1,0 +1,127 @@
+"""Versioned, content-addressed cache keys.
+
+An artifact key must satisfy two properties the plain ``repr`` of a
+Python argument list cannot guarantee:
+
+* **Stability** — the same logical inputs hash identically across
+  processes, interpreter versions and dict orderings, so a campaign
+  worker finds the artifact another worker wrote.
+* **Sensitivity** — any input that can change the computed value must
+  change the key.  Floats are keyed by their exact bit pattern
+  (``float.hex``), arrays by a digest of their raw buffer, dataclasses
+  by type name plus every field.
+
+The canonical form is a JSON-ready structure; :func:`key_digest`
+hashes its sorted-keys JSON encoding with sha256.  Unknown object
+types are a hard :class:`~repro.errors.CacheError` — a cache that
+guessed at keys would silently serve wrong artifacts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import math
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.errors import CacheError
+
+#: Version of the canonicalization scheme itself.  Bumping it orphans
+#: every existing artifact (their digests change), which is exactly
+#: what a change to the rules below requires.
+KEY_SCHEMA_VERSION = 1
+
+
+def _canonical_float(value: float) -> Any:
+    """Exact, JSON-safe float encoding (hex preserves every bit)."""
+    if math.isnan(value):
+        return {"__float__": "nan"}
+    if math.isinf(value):
+        return {"__float__": "inf" if value > 0 else "-inf"}
+    return {"__float__": value.hex()}
+
+
+def canonicalize(value: Any) -> Any:
+    """Reduce ``value`` to a deterministic JSON-ready structure.
+
+    Handles the argument vocabulary of the simulation stack: scalars,
+    strings, numpy arrays and scalars, (frozen) dataclasses such as
+    :class:`~repro.sensor.geometry.SensorDesign`, enums, mappings and
+    sequences, paths, and complex numbers.  Raises
+    :class:`CacheError` for anything else.
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return _canonical_float(value)
+    if isinstance(value, complex):
+        return {"__complex__": [_canonical_float(value.real),
+                                _canonical_float(value.imag)]}
+    if isinstance(value, np.ndarray):
+        data = np.ascontiguousarray(value)
+        return {"__ndarray__": {
+            "dtype": str(data.dtype),
+            "shape": list(data.shape),
+            "sha256": hashlib.sha256(data.tobytes()).hexdigest(),
+        }}
+    if isinstance(value, np.generic):
+        return canonicalize(value.item())
+    if isinstance(value, enum.Enum):
+        return {"__enum__": f"{type(value).__name__}.{value.name}"}
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        cls = type(value)
+        return {"__dataclass__": f"{cls.__module__}.{cls.__qualname__}",
+                "fields": {field.name: canonicalize(getattr(value,
+                                                            field.name))
+                           for field in dataclasses.fields(value)}}
+    if isinstance(value, dict):
+        items = []
+        for key, entry in value.items():
+            if not isinstance(key, str):
+                raise CacheError(
+                    f"cache-key dict keys must be strings, got "
+                    f"{type(key).__name__}"
+                )
+            items.append([key, canonicalize(entry)])
+        items.sort(key=lambda item: item[0])
+        return {"__dict__": items}
+    if isinstance(value, (list, tuple)):
+        return [canonicalize(entry) for entry in value]
+    if isinstance(value, (set, frozenset)):
+        encoded = [json.dumps(canonicalize(entry), sort_keys=True)
+                   for entry in value]
+        return {"__set__": sorted(encoded)}
+    if isinstance(value, bytes):
+        return {"__bytes__": hashlib.sha256(value).hexdigest()}
+    if isinstance(value, Path):
+        return {"__path__": str(value)}
+    raise CacheError(
+        f"cannot canonicalize {type(value).__name__} into a cache key; "
+        f"pass primitives, arrays, or dataclasses (or derive an "
+        f"explicit key dict from the object)"
+    )
+
+
+def key_digest(namespace: str, version: int, key: Any) -> str:
+    """sha256 hex digest of a fully-qualified artifact key.
+
+    The digest covers the key-schema version, the artifact namespace,
+    the caller's artifact version, and the canonicalized key payload —
+    bumping any of them addresses a fresh artifact and strands the
+    stale one (reclaimed by ``repro cache prune``).
+    """
+    if not namespace:
+        raise CacheError("artifact namespace must be non-empty")
+    envelope = {
+        "key_schema": KEY_SCHEMA_VERSION,
+        "namespace": namespace,
+        "version": int(version),
+        "key": canonicalize(key),
+    }
+    canonical = json.dumps(envelope, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()

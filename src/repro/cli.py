@@ -9,6 +9,7 @@ Commands:
     report      Run every paper-figure runner, write REPORT.md.
     serve-bench Drive the async inference service with synthetic load.
     obs-report  Summarize the observability manifest of a bench run.
+    cache       Inspect / prune / clear the shared artifact cache.
 
 Primary results go to stdout (machine-consumable); progress and
 diagnostics go through the ``repro`` logger hierarchy on stderr,
@@ -261,6 +262,45 @@ def _cmd_obs_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cache_directory(args: argparse.Namespace):
+    from repro.cache import config_from_env
+
+    if args.cache_dir:
+        from pathlib import Path
+
+        return Path(args.cache_dir)
+    return config_from_env().directory
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.cache import clear, config_from_env, directory_stats, prune
+
+    directory = _cache_directory(args)
+    if args.action == "stats":
+        stats = directory_stats(directory)
+        enabled = config_from_env().enabled
+        print(f"cache directory : {stats['directory']}")
+        print(f"enabled         : {enabled}")
+        print(f"format version  : v{stats['format_version']} "
+              f"(key schema {stats['key_schema_version']})")
+        print(f"total           : {stats['total_entries']} artifacts, "
+              f"{stats['total_bytes']} bytes")
+        if stats["namespaces"]:
+            width = max(len(name) for name in stats["namespaces"])
+            for name, entry in sorted(stats["namespaces"].items()):
+                print(f"  {name:<{width}}  {entry['entries']:>5} artifacts  "
+                      f"{entry['bytes']:>12} bytes")
+        return 0
+    if args.action == "prune":
+        result = prune(directory, max_age_days=args.max_age_days,
+                       max_bytes=args.max_bytes)
+    else:  # clear
+        result = clear(directory)
+    print(f"removed {result['removed']} artifacts "
+          f"({result['removed_bytes']} bytes) from {directory}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The repro CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -341,6 +381,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--prometheus", action="store_true",
         help="dump the snapshot in Prometheus text format instead")
 
+    cache = sub.add_parser(
+        "cache",
+        help="inspect or maintain the content-addressed artifact cache")
+    cache.add_argument(
+        "action", choices=["stats", "prune", "clear"],
+        help="stats: per-namespace sizes; prune: age/size eviction; "
+             "clear: remove everything")
+    cache.add_argument(
+        "--cache-dir", default="",
+        help="cache directory (default: $REPRO_CACHE_DIR or "
+             "~/.cache/repro)")
+    cache.add_argument(
+        "--max-age-days", type=float, default=None,
+        help="prune: drop artifacts older than this many days")
+    cache.add_argument(
+        "--max-bytes", type=int, default=None,
+        help="prune: evict oldest-first until the directory fits")
+
     return parser
 
 
@@ -353,6 +411,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "serve-bench": _cmd_serve_bench,
     "obs-report": _cmd_obs_report,
+    "cache": _cmd_cache,
 }
 
 

@@ -25,9 +25,15 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.cache import get_cache
 from repro.errors import CalibrationError
 from repro.sensor.tag import TagState, WiForceTag
 from repro.sensor.transduction import ForceTransducer
+
+#: Artifact version of cached harmonic-observable calibrations.  Bump
+#: whenever the fit (or the harmonic observable itself) changes the
+#: model produced for identical inputs.
+HARMONIC_CALIBRATION_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -450,9 +456,35 @@ def calibrate_harmonic_observable(
     phases per (location, force), cubic-fitted exactly like the VNA
     model.  This is the model the estimator should use for over-the-air
     readings, since it lives in the same observable domain.
+
+    The fit is a pure function of the transducer spec, the carrier and
+    the press schedule (the tag's clocking and crystal offset shape the
+    time series, not the per-state reflections the harmonic observable
+    is built from), so the model is memoized through
+    :mod:`repro.cache` with the :meth:`SensorModel.to_dict` codec —
+    Monte-Carlo campaign workers calibrating identically-parameterized
+    (including identically-*toleranced*) units share one fit across
+    processes.
     """
-    locations = list(locations)
-    forces = list(forces)
+    locations = [float(value) for value in locations]
+    forces = [float(value) for value in forces]
+    key = {
+        "transducer": tag.transducer.cache_spec(),
+        "frequency": float(frequency),
+        "locations": locations,
+        "forces": forces,
+    }
+    return get_cache().get_or_compute(
+        "core.harmonic_calibration", HARMONIC_CALIBRATION_VERSION, key,
+        lambda: _fit_harmonic_observable(tag, frequency, locations,
+                                         forces),
+        encode=SensorModel.to_dict, decode=SensorModel.from_dict)
+
+
+def _fit_harmonic_observable(tag: WiForceTag, frequency: float,
+                             locations: List[float],
+                             forces: List[float]) -> SensorModel:
+    """The cold path behind :func:`calibrate_harmonic_observable`."""
     phases1 = np.zeros((len(locations), len(forces)))
     phases2 = np.zeros_like(phases1)
     for i, location in enumerate(locations):

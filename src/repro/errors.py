@@ -70,6 +70,16 @@ class ObservabilityError(WiForceError):
     """Misused observability instrument (bad bounds, negative count)."""
 
 
+class CacheError(WiForceError):
+    """Artifact-cache misuse (an argument the key schema cannot
+    canonicalize, or an invalid cache configuration).
+
+    I/O trouble — corrupt artifacts, unwritable directories — is
+    deliberately *not* raised as this: the cache degrades to a miss and
+    recomputes, so a broken disk can slow a run down but never fail it.
+    """
+
+
 class ServeError(WiForceError):
     """Inference-service failure (scheduling, session routing)."""
 

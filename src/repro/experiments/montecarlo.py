@@ -9,6 +9,14 @@ Every trial is a module-level function seeded entirely by its
 arguments, so campaigns shard across a
 :class:`repro.experiments.parallel.CampaignExecutor` without changing
 a single bit of the output.
+
+The deterministic cold path of every trial — contact-table
+construction for each fabricated unit and the per-unit harmonic
+calibrations — flows through :mod:`repro.cache`, so repeated campaigns
+(and campaign workers across processes, which inherit
+``REPRO_CACHE_DIR`` through the environment) skip straight to the
+RNG-dependent wireless protocol.  ``REPRO_CACHE=0`` recomputes
+everything with bit-identical results.
 """
 
 from __future__ import annotations
@@ -107,11 +115,11 @@ def _fabricated_unit(unit: int, carrier: float, seed: int,
 
 
 def _transfer_trial(unit: int, carrier: float, seed: int,
-                    tolerances: FabricationTolerances
-                    ) -> Tuple[float, float]:
+                    tolerances: FabricationTolerances,
+                    fast: bool = True) -> Tuple[float, float]:
     """One toleranced unit read with the nominal calibration."""
     _, sounder, rng = _fabricated_unit(unit, carrier, seed, tolerances)
-    nominal_model = calibrated_model(carrier, fast=True)
+    nominal_model = calibrated_model(carrier, fast=fast)
     reader = WiForceReader(sounder, nominal_model)
     return _protocol(reader, rng)
 
@@ -158,6 +166,7 @@ def calibration_transfer_campaign(
     units: int = 4, carrier: float = 900e6, seed: int = 211,
     tolerances: FabricationTolerances = FabricationTolerances(),
     executor: Optional[CampaignExecutor] = None,
+    fast: bool = True,
 ) -> CampaignResult:
     """Read *toleranced* units with the *nominal* unit's calibration.
 
@@ -165,10 +174,17 @@ def calibration_transfer_campaign(
     it, and inverts its wireless phases with the nominal model — the
     zero-per-unit-calibration scenario.  The residual error quantifies
     how much per-unit trimming buys.
+
+    Args:
+        fast: Calibrate the nominal model on the reduced-resolution
+            transducer (the default, matching the fast scenario
+            builders).  ``False`` uses the full-resolution nominal
+            model — much slower cold, but its contact tables and fit
+            come from the artifact cache on every run after the first.
     """
     return _campaign(
         "calibration-transfer", _transfer_trial,
-        [(unit, carrier, seed, tolerances) for unit in range(units)],
+        [(unit, carrier, seed, tolerances, fast) for unit in range(units)],
         executor)
 
 

@@ -4,7 +4,12 @@ Building a :class:`ForceTransducer` solves the contact problem over a
 (force, location) grid — a couple of seconds of work that every
 experiment needs.  The builders here memoise the standard transducers
 so the test suite and the benchmarks pay that cost once per process.
-"""
+
+Two cache layers compose here: the per-process ``lru_cache`` below
+keeps *objects* alive within one interpreter, while the underlying
+contact tables and harmonic calibrations are content-addressed on disk
+by :mod:`repro.cache` — so even the first call in a fresh process is
+warm if any earlier process built the same spec."""
 
 from __future__ import annotations
 

@@ -24,13 +24,20 @@ Two models are provided:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Optional, Tuple
 
 import numpy as np
 from scipy.linalg import solve_banded
 
+from repro.cache import get_cache
 from repro.errors import ConfigurationError, ContactSolverError
 from repro.mechanics.beam import CompositeBeam
+
+#: Artifact version of the cached (force, location) edge tables.  Bump
+#: whenever the solver, the sampling, or the denoising below changes
+#: the numbers a :class:`ContactMap` would produce.
+CONTACT_TABLES_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -117,6 +124,12 @@ class PressureKernel:
             raise ConfigurationError(f"force must be non-negative, got {force}")
         return self._base + self._hertz * (force / self._ref) ** (1.0 / 3.0)
 
+    def cache_spec(self) -> dict:
+        """The kernel's defining parameters (artifact-cache key part)."""
+        return {"base_half_width": self._base,
+                "hertz_coefficient": self._hertz,
+                "reference_force": self._ref}
+
     def pressure(self, x: np.ndarray, location: float, force: float) -> np.ndarray:
         """Distributed load q(x) [N/m] on the grid ``x`` [m]."""
         x = np.asarray(x, dtype=float)
@@ -135,6 +148,43 @@ class PressureKernel:
             dx = x[1] - x[0]
             return bump * (force / dx)
         return bump * (force / total)
+
+
+@lru_cache(maxsize=64)
+def _assembled_operator(nodes: int, dx: float, bending_stiffness: float,
+                        foundation: float
+                        ) -> Tuple[np.ndarray, np.ndarray]:
+    """Assemble the FD bending operator once per (grid, EI, k_f).
+
+    The operator depends only on the grid and the beam's bending
+    stiffness — not on the applied load — so one assembly serves every
+    ``(force, location)`` solve of a :class:`ContactMap` build *and*
+    every solver instance with the same discretisation (Monte-Carlo
+    campaigns construct hundreds of them).  Returns read-only
+    ``(stencil, banded)`` arrays; per-solve mutation always happens on
+    copies.
+    """
+    n = int(nodes)
+    coefficient = bending_stiffness / dx ** 4
+    matrix = np.zeros((n, n))
+    interior = np.arange(2, n - 2)
+    for offset, weight in ((-2, 1.0), (-1, -4.0), (0, 6.0), (1, -4.0),
+                           (2, 1.0)):
+        matrix[interior, interior + offset] = weight
+    # Nodes adjacent to the supports: w''=0 with w=0 at the support
+    # implies the ghost value w[-1] = -w[1].
+    matrix[1, 1:4] = (5.0, -4.0, 1.0)
+    matrix[n - 2, n - 4: n - 1] = (1.0, -4.0, 5.0)
+    # Supports themselves are Dirichlet rows (w = 0).
+    matrix *= coefficient
+    inner = np.arange(1, n - 1)
+    matrix[inner, inner] += foundation
+    matrix[0, 0] = 1.0
+    matrix[n - 1, n - 1] = 1.0
+    banded = GapContactSolver._to_banded(matrix)
+    matrix.setflags(write=False)
+    banded.setflags(write=False)
+    return matrix, banded
 
 
 class GapContactSolver:
@@ -190,8 +240,9 @@ class GapContactSolver:
         self._foundation = float(foundation_stiffness)
         self._x = np.linspace(0.0, beam.length, self._n)
         self._dx = self._x[1] - self._x[0]
-        self._stencil = self._build_stencil()
-        self._banded = self._to_banded(self._stencil)
+        self._stencil, self._banded = _assembled_operator(
+            self._n, float(self._dx), float(beam.bending_stiffness),
+            self._foundation)
 
     @property
     def grid(self) -> np.ndarray:
@@ -209,26 +260,6 @@ class GapContactSolver:
     def beam(self) -> CompositeBeam:
         """The beam being solved."""
         return self._beam
-
-    def _build_stencil(self) -> np.ndarray:
-        """Assemble EI * d4/dx4 (rows for interior nodes, ghost-corrected
-        for the simply supported w''=0 end conditions)."""
-        n = self._n
-        coefficient = self._beam.bending_stiffness / self._dx ** 4
-        matrix = np.zeros((n, n))
-        for i in range(2, n - 2):
-            matrix[i, i - 2: i + 3] = (1.0, -4.0, 6.0, -4.0, 1.0)
-        # Nodes adjacent to the supports: w''=0 with w=0 at the support
-        # implies the ghost value w[-1] = -w[1].
-        matrix[1, 1:4] = (5.0, -4.0, 1.0)
-        matrix[n - 2, n - 4: n - 1] = (1.0, -4.0, 5.0)
-        # Supports themselves are Dirichlet rows (w = 0).
-        matrix *= coefficient
-        interior = np.arange(1, n - 1)
-        matrix[interior, interior] += self._foundation
-        matrix[0, 0] = 1.0
-        matrix[n - 1, n - 1] = 1.0
-        return matrix
 
     @staticmethod
     def _to_banded(matrix: np.ndarray) -> np.ndarray:
@@ -257,6 +288,24 @@ class GapContactSolver:
         if self._foundation == 0.0:
             return float("inf")
         return (4.0 * self._beam.bending_stiffness / self._foundation) ** 0.25
+
+    def cache_spec(self) -> dict:
+        """Everything a solve's result depends on, as key material.
+
+        Two solvers with equal specs produce bit-identical
+        :meth:`solve` results, so the spec is what content-addresses
+        cached :class:`ContactMap` tables.
+        """
+        return {
+            "bending_stiffness": float(self._beam.bending_stiffness),
+            "length": float(self._beam.length),
+            "gap": self._gap,
+            "nodes": self._n,
+            "foundation_stiffness": self._foundation,
+            "kernel": self._kernel.cache_spec(),
+            "ground_stiffness_stages": list(self.GROUND_STIFFNESS_STAGES),
+            "max_iterations": self.MAX_ITERATIONS,
+        }
 
     def solve(self, force: float, location: float) -> ContactPatch:
         """Solve the contact problem for a point force.
@@ -381,6 +430,13 @@ class ContactMap:
     contact force the sensor reports no contact, so the force grid
     starts at a small positive epsilon and queries below the sampled
     contact threshold return an out-of-contact patch.
+
+    The sampled edge tables are deterministic in the solver spec and
+    the grids, so the build is memoized through
+    :mod:`repro.cache` — any process on the machine that has built an
+    identically-parameterized map (an earlier test run, a sibling
+    campaign worker) supplies the tables and the FD solve loop is
+    skipped entirely.  ``REPRO_CACHE=0`` recomputes, bit-identically.
     """
 
     def __init__(self, solver: GapContactSolver,
@@ -400,7 +456,28 @@ class ContactMap:
         self._right = np.full((force_points, location_points), np.nan)
         self._build()
 
+    def cache_spec(self) -> dict:
+        """Key material addressing this map's sampled tables."""
+        return {
+            "solver": self._solver.cache_spec(),
+            "forces": self._forces,
+            "locations": self._locations,
+        }
+
     def _build(self) -> None:
+        payload = get_cache().get_or_compute(
+            "mechanics.contact_tables", CONTACT_TABLES_VERSION,
+            self.cache_spec(), self._compute_tables,
+            encode=lambda tables: {"left": tables[0],
+                                   "right": tables[1]},
+            decode=lambda encoded: (
+                np.array(encoded["left"], dtype=float),
+                np.array(encoded["right"], dtype=float)),
+        )
+        self._left, self._right = payload
+
+    def _compute_tables(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The cold path: one FD solve per (force, location) sample."""
         for j, loc in enumerate(self._locations):
             for i, force in enumerate(self._forces):
                 patch = self._solver.solve(float(force), float(loc))
@@ -408,6 +485,7 @@ class ContactMap:
                     self._left[i, j] = patch.left
                     self._right[i, j] = patch.right
         self._denoise()
+        return self._left, self._right
 
     def _denoise(self) -> None:
         """Regularize the sampled edge tables along the force axis.

@@ -15,6 +15,7 @@ the intermodulation of Fig. 7 falls out of this model naturally.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
@@ -55,6 +56,10 @@ class WiForceTag:
             reader's baseline tracking must absorb.
     """
 
+    #: Bound on the per-tag state-reflection LRU.  64 states cover a
+    #: full calibration schedule plus the untouched baseline.
+    STATE_CACHE_LIMIT = 64
+
     def __init__(self, transducer: ForceTransducer,
                  clocking: Optional[ClockingScheme] = None,
                  antenna_gain_dbi: float = 2.0,
@@ -63,7 +68,9 @@ class WiForceTag:
         self._clocking = clocking or wiforce_clocking()
         self.antenna_gain_dbi = float(antenna_gain_dbi)
         self.clock_offset_ppm = float(clock_offset_ppm)
-        self._state_cache: Dict[Tuple[float, float, bytes], np.ndarray] = {}
+        self._state_cache: OrderedDict[
+            Tuple[float, float, bytes],
+            Dict[Tuple[bool, bool], np.ndarray]] = OrderedDict()
 
     @property
     def transducer(self) -> ForceTransducer:
@@ -116,14 +123,24 @@ class WiForceTag:
 
     def state_reflections(self, frequency: np.ndarray,
                           state: TagState) -> Dict[Tuple[bool, bool], np.ndarray]:
-        """Public access to the four switch-state reflections."""
+        """Public access to the four switch-state reflections.
+
+        Memoized per (force, location, frequency grid) in a bounded
+        LRU: a hit refreshes the entry and eviction drops only the
+        least-recently-used state, so the hot untouched-baseline entry
+        survives a long sweep of distinct presses.
+        """
         frequency = np.asarray(frequency, dtype=float)
         key = (state.force, state.location, frequency.tobytes())
-        if key not in self._state_cache:
-            if len(self._state_cache) > 64:
-                self._state_cache.clear()
-            self._state_cache[key] = self._branch_reflections(frequency, state)
-        return self._state_cache[key]
+        cached = self._state_cache.get(key)
+        if cached is not None:
+            self._state_cache.move_to_end(key)
+            return cached
+        reflections = self._branch_reflections(frequency, state)
+        self._state_cache[key] = reflections
+        while len(self._state_cache) > self.STATE_CACHE_LIMIT:
+            self._state_cache.popitem(last=False)
+        return reflections
 
     def reflection_series(self, frequency: np.ndarray, times: np.ndarray,
                           state: TagState) -> np.ndarray:

@@ -68,6 +68,17 @@ class ForceTransducer:
         """The sensor design being transduced."""
         return self._design
 
+    def cache_spec(self) -> dict:
+        """Key material identifying this transducer's full response.
+
+        The design dataclass carries every RF parameter (line geometry,
+        switch, contact resistance) and the map spec pins the sampled
+        mechanics, so two transducers with equal specs transduce
+        identically — which is what lets downstream calibration
+        artifacts be content-addressed by it.
+        """
+        return {"design": self._design, "map": self._map.cache_spec()}
+
     @property
     def max_force(self) -> float:
         """Largest force the transducer is tabulated for [N]."""

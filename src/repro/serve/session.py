@@ -27,6 +27,7 @@ from repro.core.calibration import SensorModel
 from repro.core.estimator import ForceLocationEstimator
 from repro.core.tracking import StreamingTracker, TouchEvent, TrackedSample
 from repro.errors import ServeError
+from repro.obs.registry import active
 from repro.serve.protocol import SensorConfig
 
 #: Builds (or loads) a calibrated model for a config.
@@ -37,9 +38,11 @@ def default_model_factory(config: SensorConfig) -> SensorModel:
     """Calibrate the paper's default sensor for ``config``.
 
     Uses the process-cached scenario builders, so repeated configs at
-    the same carrier cost one calibration per process.  Imported
-    lazily: the serve package stays importable without pulling the
-    whole experiments stack.
+    the same carrier cost one calibration per process — and the
+    calibration itself delegates to the shared :mod:`repro.cache`
+    artifact tier, so a replica whose spec any process has built
+    before starts warm from disk.  Imported lazily: the serve package
+    stays importable without pulling the whole experiments stack.
     """
     from repro.experiments.scenarios import calibrated_model
 
@@ -183,9 +186,12 @@ class SessionManager:
         — configs differing only in the touch threshold share one
         calibrated model and differ only in their estimator.
         """
+        obs = active()
         estimator = self._estimators.get(config)
         if estimator is not None:
             self.model_hits += 1
+            if obs is not None:
+                obs.counter("serve.session.model_hits").increment()
             return estimator
         model_key = (config.carrier_frequency, config.fast)
         model = self._models.get(model_key)
@@ -193,6 +199,8 @@ class SessionManager:
             model = self._factory(config)
             self._models[model_key] = model
             self.model_builds += 1
+            if obs is not None:
+                obs.counter("serve.session.model_builds").increment()
         estimator = ForceLocationEstimator(
             model, touch_threshold_deg=config.touch_threshold_deg)
         self._estimators[config] = estimator

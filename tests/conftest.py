@@ -3,12 +3,39 @@
 The expensive objects (contact-map transducers, calibrated models) are
 process-cached by repro.experiments.scenarios; the fixtures here just
 give tests tidy names for them.
+
+The artifact cache is redirected to a per-session temp directory (see
+``_hermetic_artifact_cache``) so the suite neither reads a developer's
+warm ``~/.cache/repro`` nor leaves artifacts behind — every run
+exercises the true cold path exactly once, then its own warm path.
 """
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _hermetic_artifact_cache(tmp_path_factory):
+    """Point REPRO_CACHE_DIR at a fresh temp dir for the whole run.
+
+    An explicit ``REPRO_CACHE_DIR`` in the environment wins (CI uses
+    this to persist the cache across runs).
+    """
+    from repro.cache import CACHE_DIR_ENV
+
+    if os.environ.get(CACHE_DIR_ENV, "").strip():
+        yield
+        return
+    directory = tmp_path_factory.mktemp("artifact-cache")
+    os.environ[CACHE_DIR_ENV] = str(directory)
+    try:
+        yield
+    finally:
+        os.environ.pop(CACHE_DIR_ENV, None)
 
 from repro.experiments.scenarios import (
     calibrated_model,

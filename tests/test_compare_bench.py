@@ -60,6 +60,12 @@ class TestExtractMetrics:
         assert absolute["service_throughput_rps"] == 4000.0
         assert absolute["serial_throughput_rps"] == 2000.0
 
+    def test_cache_schema(self):
+        report = {"warm_speedup": 3.8, "cold_seconds": 7.0,
+                  "warm_seconds": 1.85}
+        assert compare_bench.extract_metrics(report) == {
+            "warm_speedup": 3.8}
+
     def test_unknown_schema_is_empty(self):
         assert compare_bench.extract_metrics({"something": 1}) == {}
 
@@ -156,7 +162,8 @@ class TestMain:
     def test_gates_committed_baselines(self, capsys):
         """The committed BENCH_*.json files pass against themselves."""
         results = _SCRIPT.parent / "results"
-        for name in ("BENCH_estimator.json", "BENCH_serve.json"):
+        for name in ("BENCH_estimator.json", "BENCH_serve.json",
+                     "BENCH_cache.json"):
             path = results / name
             assert compare_bench.main(["--baseline", str(path),
                                        "--fresh", str(path)]) == 0

@@ -173,6 +173,41 @@ class TestGapContactSolver:
         assert large >= small
 
 
+class TestOperatorAssembly:
+    def test_equal_solvers_share_one_operator(self):
+        """The bending operator depends only on (grid, EI, k_f), so
+        equal discretisations reuse one assembly across instances."""
+        design = default_sensor_design()
+        a = design.contact_solver(nodes=161)
+        b = design.contact_solver(nodes=161)
+        assert a._stencil is b._stencil
+        assert a._banded is b._banded
+
+    def test_shared_operator_is_read_only(self):
+        design = default_sensor_design()
+        solver = design.contact_solver(nodes=161)
+        with pytest.raises(ValueError):
+            solver._banded[0, 0] = 1.0
+        with pytest.raises(ValueError):
+            solver._stencil[0, 0] = 1.0
+
+    def test_distinct_grids_get_distinct_operators(self):
+        design = default_sensor_design()
+        a = design.contact_solver(nodes=161)
+        b = design.contact_solver(nodes=321)
+        assert a._banded is not b._banded
+
+    def test_solves_unchanged_by_sharing(self, solver):
+        """Interleaved solves on two solvers sharing one operator
+        match a fresh solver's results exactly."""
+        design = default_sensor_design()
+        other = design.contact_solver(nodes=161)
+        first = solver.solve(3.0, 0.045)
+        other.solve(7.0, 0.02)
+        second = solver.solve(3.0, 0.045)
+        assert first == second
+
+
 class TestThinTraceContrast:
     def test_thin_trace_contact_barely_moves(self):
         """The Fig. 4 claim: without the soft beam the shorting points

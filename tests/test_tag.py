@@ -51,6 +51,36 @@ class TestStateReflections:
                                    second[(True, False)])
 
 
+class TestStateCacheEviction:
+    def test_hot_state_survives_65_distinct_insertions(self, transducer):
+        """LRU regression: touching the baseline between new presses
+        must keep it cached through a sweep longer than the bound."""
+        tag = WiForceTag(transducer)
+        hot = TagState()
+        baseline = tag.state_reflections(CARRIER, hot)
+        for step in range(65):
+            tag.state_reflections(CARRIER,
+                                  TagState(1.0 + 0.05 * step, 0.04))
+            assert tag.state_reflections(CARRIER, hot) is baseline
+
+    def test_cache_size_stays_bounded(self, transducer):
+        tag = WiForceTag(transducer)
+        for step in range(WiForceTag.STATE_CACHE_LIMIT + 20):
+            tag.state_reflections(CARRIER,
+                                  TagState(1.0 + 0.05 * step, 0.04))
+        assert len(tag._state_cache) == WiForceTag.STATE_CACHE_LIMIT
+
+    def test_least_recently_used_is_evicted_first(self, transducer):
+        tag = WiForceTag(transducer)
+        first = TagState(1.0, 0.04)
+        tag.state_reflections(CARRIER, first)
+        for step in range(WiForceTag.STATE_CACHE_LIMIT):
+            tag.state_reflections(CARRIER,
+                                  TagState(2.0 + 0.05 * step, 0.04))
+        key = (first.force, first.location, CARRIER.tobytes())
+        assert key not in tag._state_cache
+
+
 class TestReflectionSeries:
     def test_shape(self, tag):
         times = np.linspace(0.0, 4e-3, 256)
