@@ -43,6 +43,11 @@ def extract_metrics(report: dict, absolute: bool = False
     # BENCH_cache.json shape.
     if "warm_speedup" in report:
         metrics["warm_speedup"] = float(report["warm_speedup"])
+    # BENCH_chaos.json shape: the survival rate is a ratio in [0, 1]
+    # and machine-independent, so it is always gated.
+    if "survival" in report:
+        metrics["chaos_survival_rate"] = float(
+            report["survival"]["survival_rate"])
     # BENCH_serve.json shape.
     if "speedup_vs_serial" in report:
         metrics["speedup_vs_serial"] = float(report["speedup_vs_serial"])

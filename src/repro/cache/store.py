@@ -41,6 +41,7 @@ from typing import Any, Callable, Dict, Iterator, Optional, Tuple
 
 from repro.cache.keys import KEY_SCHEMA_VERSION, key_digest
 from repro.errors import CacheError
+from repro.faults.inject import armed as fault_armed
 from repro.obs.registry import active
 
 #: Kill switch: ``REPRO_CACHE=0`` (or ``false`` / ``no``) bypasses
@@ -237,6 +238,16 @@ class ArtifactCache:
             raw = path.read_bytes()
         except OSError:
             return None, None
+        inj = fault_armed()
+        if inj is not None and raw:
+            fault = inj.draw("cache.store")
+            if fault is not None:
+                # Bit-rot injection: flip one byte of the artifact so
+                # the integrity check below must catch it and the read
+                # degrades to a recompute.
+                index = int(fault.rng().integers(len(raw)))
+                raw = (raw[:index] + bytes([raw[index] ^ 0xFF])
+                       + raw[index + 1:])
         payload, ok = _decode_file(raw)
         if not ok:
             # Truncated or corrupt artifact: count it, drop the file so

@@ -8,6 +8,7 @@ Commands:
     demo        One-command end-to-end demo (build, calibrate, read).
     report      Run every paper-figure runner, write REPORT.md.
     serve-bench Drive the async inference service with synthetic load.
+    chaos       Run the serve campaign under an armed fault plan.
     obs-report  Summarize the observability manifest of a bench run.
     cache       Inspect / prune / clear the shared artifact cache.
 
@@ -185,6 +186,36 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         print(profiler.report())
     path = write_report(report, args.output)
     print(f"Wrote {path}")
+    return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.faults import chaos
+    from repro.faults.plan import FaultPlan
+    from repro.serve import LoadProfile, write_report
+
+    if args.plan:
+        plan = FaultPlan.load(args.plan)
+    else:
+        plan = chaos.default_plan(args.seed)
+    profile = LoadProfile(
+        sensors=args.sensors,
+        requests_per_sensor=args.requests,
+        carrier_frequency=args.carrier,
+        fast=not args.full,
+    )
+    logger.info(
+        "running chaos campaign: plan %s (seed %d, %d specs) over %d "
+        "requests", plan.name, args.seed, len(plan.specs),
+        profile.total_requests)
+    report = chaos.run_chaos(plan=plan, profile=profile, seed=args.seed)
+    print(chaos.summarize(report))
+    path = write_report(report, args.output)
+    print(f"Wrote {path}")
+    crashes = report["survival"]["crashes"]
+    if crashes:
+        logger.error("chaos campaign saw %d crash(es)", crashes)
+        return 1
     return 0
 
 
@@ -370,6 +401,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile", action="store_true",
         help="print a per-stage hotspot profile of the bench run")
 
+    chaos = sub.add_parser(
+        "chaos",
+        help="run the serve campaign under an armed fault plan and "
+             "report survival")
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="plan seed (overrides a loaded plan's seed)")
+    chaos.add_argument("--plan", default="",
+                       help="fault plan JSON path (default: the "
+                            "built-in serve plan)")
+    chaos.add_argument("--sensors", type=int, default=4,
+                       help="concurrent sensor streams (default 4)")
+    chaos.add_argument("--requests", type=int, default=48,
+                       help="samples per stream (default 48)")
+    chaos.add_argument("--carrier", type=float, default=900e6)
+    chaos.add_argument("--full", action="store_true",
+                       help="full-resolution calibration (slower)")
+    chaos.add_argument(
+        "--output", default="benchmarks/results/BENCH_chaos.json",
+        help="JSON survival report path")
+
     obs_report = sub.add_parser(
         "obs-report",
         help="summarize the manifest + instrument snapshot of a "
@@ -410,6 +461,7 @@ _COMMANDS = {
     "demo": _cmd_demo,
     "report": _cmd_report,
     "serve-bench": _cmd_serve_bench,
+    "chaos": _cmd_chaos,
     "obs-report": _cmd_obs_report,
     "cache": _cmd_cache,
 }

@@ -31,9 +31,39 @@ from repro.core.harmonics import (
 )
 from repro.core.phase import differential_phase, phase_trajectory
 from repro.errors import ReaderError
+from repro.faults.inject import FaultEvent, armed as fault_armed
 from repro.obs.registry import active, maybe_span
-from repro.reader.sounder import FrameLevelSounder
+from repro.reader.sounder import ChannelEstimateStream, FrameLevelSounder
 from repro.sensor.tag import TagState
+
+
+def _faulted_stream(stream: ChannelEstimateStream,
+                    fault: FaultEvent) -> ChannelEstimateStream:
+    """Apply one injected ``reader.capture`` fault to a capture.
+
+    * ``dropout`` — zero a contiguous burst of frames (``magnitude``
+      is the dropped fraction of the capture).
+    * ``desync`` — jump the capture clock by ``magnitude`` frame
+      periods (all timestamps shift, desynchronizing drift tracking).
+    * ``phase_jump`` — rotate every estimate from a random frame
+      onward by ``magnitude`` radians (an RF chain glitch).
+    """
+    estimates = stream.estimates.copy()
+    times = stream.times
+    frames = stream.frames
+    rng = fault.rng()
+    if fault.kind == "dropout":
+        count = min(frames, max(1, int(round(fault.magnitude * frames))))
+        start = int(rng.integers(0, frames - count + 1))
+        estimates[start:start + count] = 0.0
+    elif fault.kind == "desync":
+        times = times + fault.magnitude * stream.frame_period
+    elif fault.kind == "phase_jump":
+        start = int(rng.integers(0, frames))
+        estimates[start:] = estimates[start:] * np.exp(1j * fault.magnitude)
+    return ChannelEstimateStream(
+        estimates=estimates, times=times,
+        frequencies=stream.frequencies, frame_period=stream.frame_period)
 
 
 @dataclass(frozen=True)
@@ -144,6 +174,11 @@ class WiForceReader:
             stream = self.sounder.capture(state, frames,
                                           start_time=self._clock)
             self._clock += frames * self.sounder.config.frame_period
+            inj = fault_armed()
+            if inj is not None:
+                fault = inj.draw("reader.capture")
+                if fault is not None:
+                    stream = _faulted_stream(stream, fault)
             matrices = self.extractor.extract(stream)
         obs = active()
         if obs is not None:

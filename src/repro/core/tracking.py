@@ -36,6 +36,12 @@ class TrackedSample:
         touched: Whether the sensor is classified as touched.
         force: Estimated force [N] (0 when untouched).
         location: Estimated location [m] (0 when untouched).
+        quality: ``"ok"`` for a nominal group; ``"gap"`` for a group
+            whose harmonic energy vanished (signal dropout — the
+            tracker coasts through it untouched instead of aborting
+            the stream); served samples may also carry the service
+            qualities (``"degraded"``, ``"recovered"``,
+            ``"quarantined"``).
     """
 
     time: float
@@ -44,6 +50,7 @@ class TrackedSample:
     touched: bool
     force: float
     location: float
+    quality: str = "ok"
 
     def to_dict(self) -> dict:
         """JSON-ready dict (plain python scalars only)."""
@@ -54,11 +61,12 @@ class TrackedSample:
             "touched": bool(self.touched),
             "force": float(self.force),
             "location": float(self.location),
+            "quality": str(self.quality),
         }
 
     @classmethod
     def from_dict(cls, payload: dict) -> "TrackedSample":
-        """Inverse of :meth:`to_dict`."""
+        """Inverse of :meth:`to_dict` (``quality`` defaults ``"ok"``)."""
         return cls(
             time=float(payload["time"]),
             phi1=float(payload["phi1"]),
@@ -66,6 +74,7 @@ class TrackedSample:
             touched=bool(payload["touched"]),
             force=float(payload["force"]),
             location=float(payload["location"]),
+            quality=str(payload.get("quality", "ok")),
         )
 
 
@@ -146,6 +155,9 @@ class StreamingTracker:
             obs.counter("tracker.groups").increment(len(samples))
             obs.counter("tracker.touched_groups").increment(
                 sum(1 for sample in samples if sample.touched))
+            gaps = sum(1 for sample in samples if sample.quality == "gap")
+            if gaps:
+                obs.counter("tracker.gap_groups").increment(gaps)
         return samples
 
     def _process(self, stream: ChannelEstimateStream
@@ -178,20 +190,27 @@ class StreamingTracker:
         # conjugate against the reference and take the coherent
         # subcarrier average — Eqns. 4-5 vectorized over groups.
         tone_phases = []
+        gap = np.zeros(groups, dtype=bool)
         for tone in (tone1, tone2):
             matrix = matrices[tone]
             rotation = np.exp(-1j * drifts[tone] * (times - times[0]))
             vectors = matrix.values * rotation[:, None]
             products = vectors * np.conj(references[tone])[None, :]
             totals = products.sum(axis=1)
-            if np.any(totals == 0):
+            zero = totals == 0
+            if np.all(zero):
                 raise EstimationError(
                     "zero harmonic energy: no sensor signal found"
                 )
+            # Isolated dead groups (signal dropout) are survivable:
+            # flag them as gaps and coast through instead of aborting
+            # the whole stream.
+            gap |= zero
             tone_phases.append(np.angle(totals))
         phi1, phi2 = tone_phases
         touched = ((np.abs(phi1) > self.touch_threshold)
                    | (np.abs(phi2) > self.touch_threshold))
+        touched &= ~gap
         force = np.zeros(groups)
         location = np.zeros(groups)
         active = np.flatnonzero(touched)
@@ -205,7 +224,8 @@ class StreamingTracker:
             TrackedSample(
                 time=float(times[g]), phi1=float(phi1[g]),
                 phi2=float(phi2[g]), touched=bool(touched[g]),
-                force=float(force[g]), location=float(location[g]))
+                force=float(force[g]), location=float(location[g]),
+                quality="gap" if gap[g] else "ok")
             for g in range(groups)
         ]
 

@@ -90,3 +90,23 @@ class QueueFullError(ServeError):
     Backpressure signal: the caller should retry later or shed load;
     admitting the request would have grown the queue without bound.
     """
+
+
+class ProtocolError(ServeError):
+    """A wire payload could not be decoded into a protocol dataclass.
+
+    Every ``from_dict`` / ``from_json`` decoder on the serve boundary
+    raises this (never a bare ``KeyError`` / ``TypeError`` /
+    ``AttributeError``) for malformed, truncated, or type-confused
+    payloads, so transport adapters can map decode failures to a 4xx
+    without pattern-matching on builtin exceptions.
+    """
+
+
+class FaultError(WiForceError):
+    """Fault-injection misuse (unknown site/kind, malformed plan).
+
+    Raised when *configuring* fault injection — an injected fault
+    itself never surfaces as this; it surfaces as whatever the faulted
+    site would naturally raise (or as degraded output).
+    """

@@ -26,6 +26,14 @@ failure: the exception is wrapped as
 :class:`repro.errors.CampaignTrialError` naming the failing trial
 index, and propagates identically from the sharded and serial paths
 (it is never swallowed by the serial fallback).
+
+A worker that *dies* (SIGKILL, OOM) is an infrastructure failure: the
+pool is respawned and the incomplete trials are resubmitted — the
+re-shard is deterministic (trials are keyed by index, and every trial
+seeds its own randomness), so the completed campaign is bit-identical
+to an undisturbed run.  ``campaign.worker_respawns`` counts the
+respawns; after ``max_respawns`` pool rebuilds the run degrades to the
+serial path like any other broken pool.
 """
 
 from __future__ import annotations
@@ -33,13 +41,15 @@ from __future__ import annotations
 import logging
 import os
 import pickle
+import signal
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import CampaignTrialError, ConfigurationError
+from repro.faults.inject import armed as fault_armed
 from repro.obs.registry import active
 
 #: Environment variable consulted when ``workers`` is not given.
@@ -82,15 +92,33 @@ class CampaignExecution:
         return line
 
 
-def _timed_call(payload: Tuple[int, Callable[..., Any], Sequence[Any]]
-                ) -> Tuple[Any, float]:
+#: One unit of campaign work: (index, trial, arguments, attempt,
+#: in_worker).  ``attempt`` counts pool respawns (crash faults only
+#: fire on attempt 0, so a respawned shard completes); ``in_worker``
+#: is True only on the process-pool path — the serial loop must never
+#: SIGKILL the main process.
+_Payload = Tuple[int, Callable[..., Any], Sequence[Any], int, bool]
+
+
+def _timed_call(payload: _Payload) -> Tuple[Any, float]:
     """Run one trial and measure it (module-level, so it pickles).
 
     A raising trial is re-raised as :class:`CampaignTrialError` naming
     the trial, so a failure deep inside a 4-process shard reads the
     same as one from a plain serial loop.
+
+    When a fault plan with an ``experiments.parallel``/``crash`` spec
+    is armed (fork-started workers inherit it), the decision is keyed
+    on the *trial index* — every worker, and every respawn, computes
+    the same answer — and the crash is a real ``SIGKILL`` of the
+    worker, exercising the executor's respawn path.
     """
-    index, trial, arguments = payload
+    index, trial, arguments, attempt, in_worker = payload
+    inj = fault_armed()
+    if inj is not None and in_worker and attempt == 0:
+        fault = inj.draw_at("experiments.parallel", index)
+        if fault is not None and fault.kind == "crash":
+            os.kill(os.getpid(), signal.SIGKILL)
     start = time.perf_counter()
     try:
         result = trial(*arguments)
@@ -134,32 +162,44 @@ class CampaignExecutor:
     Args:
         workers: Worker processes; ``None`` resolves via
             :func:`resolve_workers`.  1 means serial execution.
+        max_respawns: Pool rebuilds tolerated after worker deaths
+            (SIGKILL/OOM) before the run degrades to the serial
+            fallback.
 
     Because every trial seeds its own generators from its arguments,
     a parallel run returns exactly what the serial loop would — the
-    executor only changes wall-clock time, never results.
+    executor only changes wall-clock time, never results.  That also
+    makes worker-death recovery safe: resubmitting the incomplete
+    trials after a respawn reproduces the exact results the dead
+    worker would have returned.
     """
 
-    def __init__(self, workers: Optional[int] = None):
+    def __init__(self, workers: Optional[int] = None,
+                 max_respawns: int = 3):
         self.workers = resolve_workers(workers)
+        if max_respawns < 0:
+            raise ConfigurationError(
+                f"max_respawns must be >= 0, got {max_respawns}")
+        self.max_respawns = int(max_respawns)
 
     def run(self, trial: Callable[..., Any],
             argument_lists: Sequence[Sequence[Any]]) -> CampaignExecution:
         """Execute ``trial(*args)`` for every args tuple, in order.
 
-        Falls back to a serial loop (recording the reason) when the
-        process pool cannot run the work — unpicklable callables,
-        sandboxed interpreters, or a broken pool.
+        Worker processes that die mid-campaign are respawned (up to
+        ``max_respawns`` pool rebuilds) and their incomplete trials
+        resubmitted.  Falls back to a serial loop (recording the
+        reason) when the process pool cannot run the work at all —
+        unpicklable callables, sandboxed interpreters, or a pool still
+        broken after the respawn budget.
         """
-        payloads = [(index, trial, tuple(arguments))
-                    for index, arguments in enumerate(argument_lists)]
+        entries = [(index, trial, tuple(arguments))
+                   for index, arguments in enumerate(argument_lists)]
         start = time.perf_counter()
         try:
-            if self.workers > 1 and payloads:
+            if self.workers > 1 and entries:
                 try:
-                    with ProcessPoolExecutor(
-                            max_workers=self.workers) as pool:
-                        timed = list(pool.map(_timed_call, payloads))
+                    timed = self._run_pool(entries)
                     execution = self._execution(timed, "parallel",
                                                 self.workers, start)
                     self._observe(execution)
@@ -177,7 +217,8 @@ class CampaignExecutor:
                         reason)
             else:
                 reason = ""
-            timed = [_timed_call(payload) for payload in payloads]
+            timed = [_timed_call((index, fn, args, 0, False))
+                     for index, fn, args in entries]
             execution = self._execution(timed, "serial", 1, start, reason)
         except CampaignTrialError as exc:
             obs = active()
@@ -188,6 +229,53 @@ class CampaignExecutor:
         self._observe(execution)
         logger.debug("campaign finished: %s", execution.summary())
         return execution
+
+    def _run_pool(self, entries: List[Tuple[int, Callable[..., Any],
+                                            Sequence[Any]]]
+                  ) -> List[Tuple[Any, float]]:
+        """Sharded execution with worker-death recovery.
+
+        Submits one future per trial; when a worker dies the pool
+        breaks, so completed results are salvaged, the pool is
+        rebuilt, and the incomplete trials are resubmitted with the
+        attempt counter bumped.  Raises :class:`BrokenProcessPool`
+        once ``max_respawns`` rebuilds have been spent (the caller's
+        serial fallback takes over).
+        """
+        results: Dict[int, Tuple[Any, float]] = {}
+        respawns = 0
+        remaining = entries
+        while remaining:
+            broken: Optional[BrokenProcessPool] = None
+            with ProcessPoolExecutor(max_workers=self.workers) as pool:
+                futures = [
+                    (index,
+                     pool.submit(_timed_call,
+                                 (index, fn, args, respawns, True)))
+                    for index, fn, args in remaining
+                ]
+                for index, future in futures:
+                    try:
+                        results[index] = future.result()
+                    except BrokenProcessPool as exc:
+                        # Keep scanning: futures that finished before
+                        # the crash still carry salvageable results.
+                        broken = exc
+            if broken is None:
+                break
+            respawns += 1
+            obs = active()
+            if obs is not None:
+                obs.counter("campaign.worker_respawns").increment()
+            if respawns > self.max_respawns:
+                raise broken
+            remaining = [entry for entry in remaining
+                         if entry[0] not in results]
+            logger.warning(
+                "campaign worker died; respawning pool (%d/%d) and "
+                "resubmitting %d incomplete trial(s)",
+                respawns, self.max_respawns, len(remaining))
+        return [results[index] for index, _, _ in entries]
 
     @staticmethod
     def _observe(execution: CampaignExecution) -> None:

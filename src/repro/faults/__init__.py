@@ -1,0 +1,54 @@
+"""``repro.faults`` — deterministic fault injection and degradation.
+
+Three layers (see DESIGN.md, "Fault injection & graceful
+degradation"):
+
+* :mod:`repro.faults.plan` — declarative, seeded
+  :class:`FaultSpec`/:class:`FaultPlan` with JSON round-trip; every
+  injection decision is a pure function of (plan seed, spec, visit
+  counter), so chaos runs replay bit-for-bit.
+* :mod:`repro.faults.inject` — the site registry and the per-process
+  armed :class:`FaultInjector`; unarmed, every hook is a one-call
+  no-op and results are bit-identical to an uninstrumented build.
+* :mod:`repro.faults.retry` — the degradation vocabulary the
+  consumers share: bounded :func:`retry_async`/:func:`retry_sync`
+  with seeded exponential backoff, and a :class:`CircuitBreaker`.
+
+The chaos harness lives in :mod:`repro.faults.chaos` (imported
+lazily — it pulls in the serve stack) and backs the
+``python -m repro chaos`` CLI.
+"""
+
+from repro.faults.inject import (
+    SITES,
+    FaultEvent,
+    FaultInjector,
+    armed,
+    disarm,
+    inject,
+    validate_plan,
+)
+from repro.faults.plan import FaultPlan, FaultSpec, unit_draw
+from repro.faults.retry import (
+    CircuitBreaker,
+    RetryPolicy,
+    retry_async,
+    retry_sync,
+)
+
+__all__ = [
+    "SITES",
+    "CircuitBreaker",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "RetryPolicy",
+    "armed",
+    "disarm",
+    "inject",
+    "retry_async",
+    "retry_sync",
+    "unit_draw",
+    "validate_plan",
+]

@@ -1,0 +1,213 @@
+"""Chaos harness: a serve campaign run under an armed fault plan.
+
+Drives the async inference service with the same synthetic fleet as
+``repro serve-bench`` while a :class:`~repro.faults.plan.FaultPlan` is
+armed, then reports *survival*: how many requests rode a degraded
+path (and said so via their ``quality`` flag), how many recovered
+through the bounded retry budget, how many were shed as backpressure,
+and how many crashed outright.  The acceptance bar for the built-in
+default plan is zero crashes and a survival rate >= 0.95.
+
+Reproducibility contract: the injected-fault ``events`` block and the
+``survival`` block are pure functions of (plan, seed, load profile) —
+two runs with the same arguments produce them bit-identically (tested
+in ``tests/test_faults_chaos.py``).  Wall-clock ``timing`` and the
+latency histograms in the telemetry snapshot are *not* deterministic
+and live in their own blocks.
+
+This module is imported lazily (it pulls in the whole serve stack);
+``python -m repro chaos`` is the CLI front end.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import List, Optional, Union
+
+from repro.errors import QueueFullError
+from repro.faults.inject import inject
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.faults.retry import RetryPolicy
+from repro.obs.manifest import stamp_report
+from repro.obs.registry import observed
+from repro.serve.loadgen import LoadProfile, generate_requests
+from repro.serve.protocol import EstimateRequest, EstimateResponse
+from repro.serve.scheduler import BatchPolicy
+from repro.serve.service import InferenceService
+from repro.serve.session import ModelFactory
+
+#: Qualities that count as "handled gracefully" for survival purposes.
+GRACEFUL_QUALITIES = ("degraded", "recovered", "quarantined")
+
+
+def default_plan(seed: int = 0) -> FaultPlan:
+    """The built-in chaos plan for the serve campaign.
+
+    Targets the one site the load campaign exercises on every request
+    (``serve.scheduler``): injected stalls blow the latency budget
+    (``quality="degraded"``), slow consumers drag the queue, and
+    synthetic rejections force the service's bounded-retry path
+    (``quality="recovered"``).  Sites the campaign does not visit stay
+    untargeted so the injected sequence cannot depend on environment
+    state (e.g. whether the model cache is already warm).
+    """
+    return FaultPlan(
+        name="builtin-default",
+        seed=seed,
+        specs=(
+            FaultSpec(site="serve.scheduler", kind="stall",
+                      probability=0.05, magnitude=0.002, seed=0),
+            FaultSpec(site="serve.scheduler", kind="slow_consumer",
+                      probability=0.02, magnitude=0.004, seed=1),
+            FaultSpec(site="serve.scheduler", kind="reject",
+                      probability=0.05, seed=2),
+        ),
+    )
+
+
+def default_profile() -> LoadProfile:
+    """The default chaos load: small enough for CI, big enough to fault."""
+    return LoadProfile(sensors=4, requests_per_sensor=48)
+
+
+async def _drive(service: InferenceService,
+                 requests: List[EstimateRequest],
+                 ) -> List[Union[EstimateResponse, BaseException]]:
+    """Fire every request; capture per-request failures instead of
+    letting one exception cancel the whole campaign."""
+
+    async def one(request: EstimateRequest):
+        try:
+            return await service.estimate(request)
+        except Exception as exc:  # noqa: BLE001 - survival accounting
+            return exc
+
+    return list(await asyncio.gather(*(one(r) for r in requests)))
+
+
+def _survival(outcomes: List[Union[EstimateResponse, BaseException]]
+              ) -> dict:
+    """The survival block: outcome counts and the survival rate.
+
+    A *faulted* request is any request that did not come back
+    ``quality="ok"``: degraded / recovered / quarantined responses
+    (graceful), shed backpressure (``QueueFullError`` after the retry
+    budget), or an outright crash (any other exception).
+    """
+    counts = {"ok": 0, "degraded": 0, "recovered": 0, "quarantined": 0,
+              "shed": 0, "crashes": 0}
+    crash_types: List[str] = []
+    for outcome in outcomes:
+        if isinstance(outcome, QueueFullError):
+            counts["shed"] += 1
+        elif isinstance(outcome, BaseException):
+            counts["crashes"] += 1
+            crash_types.append(type(outcome).__name__)
+        elif outcome.quality in counts:
+            counts[outcome.quality] += 1
+        else:
+            counts["degraded"] += 1
+    graceful = sum(counts[q] for q in GRACEFUL_QUALITIES)
+    faulted = graceful + counts["shed"] + counts["crashes"]
+    return {
+        "total_requests": len(outcomes),
+        "faulted_requests": faulted,
+        "graceful": graceful,
+        "survival_rate": (graceful / faulted) if faulted else 1.0,
+        "crash_types": sorted(set(crash_types)),
+        **counts,
+    }
+
+
+def run_chaos(plan: Optional[FaultPlan] = None,
+              profile: Optional[LoadProfile] = None,
+              seed: Optional[int] = None,
+              model_factory: Optional[ModelFactory] = None,
+              retry_policy: Optional[RetryPolicy] = None) -> dict:
+    """Run the serve campaign under ``plan``; returns the report.
+
+    Args:
+        plan: Fault plan to arm; :func:`default_plan` when omitted.
+        profile: Load shape; :func:`default_profile` when omitted.
+        seed: Overrides the plan seed (``repro chaos --seed``), so one
+            committed plan file replays under many seeds.
+        model_factory: Config -> model override for the session cache.
+        retry_policy: Service-side backpressure retry budget.
+
+    The report's ``events`` and ``survival`` blocks are deterministic
+    for fixed arguments; ``timing`` and the instrument snapshot in the
+    manifest are not.
+    """
+    if plan is None:
+        plan = default_plan(seed if seed is not None else 0)
+    elif seed is not None and seed != plan.seed:
+        plan = FaultPlan(specs=plan.specs, seed=seed, name=plan.name)
+    if profile is None:
+        profile = default_profile()
+    policy = BatchPolicy(
+        max_batch=profile.max_batch,
+        max_delay_s=profile.max_delay_s,
+        max_queue=max(1024, profile.total_requests),
+        enabled=profile.batching,
+    )
+    with observed() as registry:
+        service = InferenceService(policy=policy,
+                                   model_factory=model_factory,
+                                   registry=registry,
+                                   retry_policy=retry_policy)
+        estimator = service.sessions.estimator(profile.config)
+        requests = generate_requests(estimator.model, profile)
+        with inject(plan) as injector:
+            start = time.perf_counter()
+            outcomes = asyncio.run(_drive(service, requests))
+            wall = time.perf_counter() - start
+            events = injector.event_dicts()
+    survival = _survival(outcomes)
+    config = {"plan": plan.to_dict(), "seed": plan.seed,
+              "sensors": profile.sensors,
+              "requests_per_sensor": profile.requests_per_sensor}
+    report = {
+        "plan": plan.to_dict(),
+        "profile": {
+            "sensors": profile.sensors,
+            "requests_per_sensor": profile.requests_per_sensor,
+            "total_requests": profile.total_requests,
+            "max_batch": profile.max_batch,
+            "max_delay_s": profile.max_delay_s,
+            "seed": profile.seed,
+        },
+        "events": events,
+        "injected_faults": len(events),
+        "survival": survival,
+        "timing": {
+            "wall_seconds": wall,
+            "throughput_rps": (len(requests) / wall) if wall > 0 else 0.0,
+        },
+        "telemetry": service.telemetry_snapshot(),
+    }
+    return stamp_report(report, config=config, registry=registry)
+
+
+def summarize(report: dict) -> str:
+    """Human-readable one-screen summary of a chaos report."""
+    survival = report["survival"]
+    timing = report["timing"]
+    lines = [
+        f"plan              : {report['plan']['name']} "
+        f"(seed {report['plan']['seed']}, "
+        f"{len(report['plan']['specs'])} specs)",
+        f"requests          : {survival['total_requests']} "
+        f"({report['profile']['sensors']} sensors x "
+        f"{report['profile']['requests_per_sensor']} samples)",
+        f"injected faults   : {report['injected_faults']}",
+        f"faulted requests  : {survival['faulted_requests']} "
+        f"(degraded {survival['degraded']}, "
+        f"recovered {survival['recovered']}, "
+        f"quarantined {survival['quarantined']}, "
+        f"shed {survival['shed']}, crashes {survival['crashes']})",
+        f"survival rate     : {survival['survival_rate']:.3f}",
+        f"wall / throughput : {timing['wall_seconds']:.2f} s / "
+        f"{timing['throughput_rps']:.0f} req/s",
+    ]
+    return "\n".join(lines)

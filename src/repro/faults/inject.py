@@ -1,0 +1,229 @@
+"""The injector registry and the per-process armed injector.
+
+Injection sites are named seams at existing layer boundaries; each
+site advertises the fault kinds its host code knows how to apply.
+Arming a :class:`~repro.faults.plan.FaultPlan` (via the
+:func:`inject` context manager, also usable as a decorator) installs a
+:class:`FaultInjector`; instrumented code asks :func:`armed` on every
+pass through a site and gets ``None`` in the common case — the same
+one-call-and-a-branch gate as :func:`repro.obs.registry.active`, so an
+unarmed fault layer is a strict no-op: no instruments are created, no
+RNG is touched, and results are bit-identical to a build without the
+hooks.
+
+Worker processes forked mid-plan inherit the armed injector; because
+every decision is a pure function of ``(plan seed, spec, counter)``
+(see :mod:`repro.faults.plan`), a worker evaluates the same decisions
+the parent would, without any cross-process coordination.
+"""
+
+from __future__ import annotations
+
+import logging
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+import numpy as np
+
+from repro.errors import FaultError
+from repro.faults.plan import FaultPlan, FaultSpec, unit_draw
+from repro.obs.registry import active
+
+logger = logging.getLogger(__name__)
+
+#: Injection sites and the fault kinds their host code applies.
+SITES: Dict[str, tuple] = {
+    # Frame-level capture in the reader pipeline: whole-frame signal
+    # dropout bursts, capture-clock desync jumps, phase-jump glitches.
+    "reader.capture": ("dropout", "desync", "phase_jump"),
+    # Channel synthesis in the sounder: SNR collapse (noise floor
+    # multiplied up) and narrowband interference bursts.
+    "channel.snr": ("collapse", "interference"),
+    # Tag clock non-idealities: extra oscillator drift and duty-cycle
+    # timing jitter on the switch sampling instants.
+    "sensor.clock": ("drift", "duty_jitter"),
+    # Artifact-cache disk tier: corrupt the raw bytes of a read so the
+    # integrity check must catch it and degrade to a recompute.
+    "cache.store": ("corrupt",),
+    # Micro-batch scheduler admission: queue stalls (latency), slow
+    # consumers, and synthetic backpressure rejections.
+    "serve.scheduler": ("stall", "slow_consumer", "reject"),
+    # Campaign worker processes: hard crashes (SIGKILL) that must be
+    # survived by the executor's respawn path.
+    "experiments.parallel": ("crash",),
+}
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault occurrence.
+
+    Attributes:
+        site: Where it fired.
+        kind: Which fault family.
+        counter: The site visit index it fired on.
+        magnitude: The spec's severity knob.
+        unit: A per-event uniform draw in [0, 1) the applying site may
+            use for secondary choices (which frame, which byte, ...).
+    """
+
+    site: str
+    kind: str
+    counter: int
+    magnitude: float
+    unit: float
+
+    def rng(self) -> np.random.Generator:
+        """A generator seeded from this event (deterministic per event).
+
+        Sites that need several random choices to apply one fault
+        (e.g. which frames of a capture to drop) derive them from
+        here, so the perturbation replays exactly.
+        """
+        return np.random.default_rng(int(self.unit * (1 << 63)))
+
+    def to_dict(self) -> dict:
+        """JSON-ready dict (plain python scalars only)."""
+        return {
+            "site": str(self.site),
+            "kind": str(self.kind),
+            "counter": int(self.counter),
+            "magnitude": float(self.magnitude),
+        }
+
+
+class FaultInjector:
+    """Evaluates an armed plan at every site visit and keeps the log.
+
+    Args:
+        plan: The armed fault plan (validated against :data:`SITES`).
+
+    The injector owns one visit counter per site; :meth:`draw`
+    advances it and returns the fired :class:`FaultEvent` (first
+    matching spec wins) or ``None``.  Every fired event lands in
+    :attr:`events` and, when observation is on, in the shared registry
+    (``fault.injected`` plus ``fault.injected.<site>``).
+    """
+
+    def __init__(self, plan: FaultPlan):
+        validate_plan(plan)
+        self.plan = plan
+        self.events: List[FaultEvent] = []
+        self._counters: Dict[str, int] = {}
+        self._specs: Dict[str, tuple] = {
+            site: plan.specs_for(site) for site in plan.sites
+        }
+
+    def counter(self, site: str) -> int:
+        """How many times ``site`` has been visited so far."""
+        return self._counters.get(site, 0)
+
+    def draw(self, site: str) -> Optional[FaultEvent]:
+        """Evaluate one visit to ``site``; returns the fired event."""
+        counter = self._counters.get(site, 0)
+        self._counters[site] = counter + 1
+        return self.draw_at(site, counter)
+
+    def draw_at(self, site: str, counter: int) -> Optional[FaultEvent]:
+        """Evaluate ``site`` at an explicit visit counter.
+
+        Used where the natural counter lives outside the injector —
+        campaign trials are keyed on their trial index so the decision
+        is identical in every worker process and on every respawn
+        attempt.  Does not advance the internal counter.
+        """
+        specs = self._specs.get(site)
+        if not specs:
+            return None
+        for spec in specs:
+            if spec.fires(self.plan.seed, counter):
+                event = self._event(spec, counter)
+                self._record(event)
+                return event
+        return None
+
+    def _event(self, spec: FaultSpec, counter: int) -> FaultEvent:
+        unit = unit_draw(self.plan.seed, spec.site, spec.kind, spec.seed,
+                         counter, "event")
+        return FaultEvent(site=spec.site, kind=spec.kind, counter=counter,
+                          magnitude=spec.magnitude, unit=unit)
+
+    def _record(self, event: FaultEvent) -> None:
+        self.events.append(event)
+        logger.debug("injected fault %s/%s at visit %d (magnitude %g)",
+                     event.site, event.kind, event.counter,
+                     event.magnitude)
+        obs = active()
+        if obs is not None:
+            obs.counter("fault.injected").increment()
+            obs.counter(f"fault.injected.{event.site}").increment()
+
+    def event_dicts(self) -> List[dict]:
+        """The injected-fault log as JSON-ready dicts, in fire order."""
+        return [event.to_dict() for event in self.events]
+
+
+def validate_plan(plan: FaultPlan) -> None:
+    """Check every spec against the site registry.
+
+    Raises:
+        FaultError: A spec names an unknown site or a kind its site
+            does not apply.
+    """
+    for spec in plan.specs:
+        kinds = SITES.get(spec.site)
+        if kinds is None:
+            raise FaultError(
+                f"unknown fault site {spec.site!r}; known sites: "
+                f"{sorted(SITES)}")
+        if spec.kind not in kinds:
+            raise FaultError(
+                f"site {spec.site!r} does not apply kind "
+                f"{spec.kind!r}; it applies {sorted(kinds)}")
+
+
+_injector: Optional[FaultInjector] = None
+
+
+def armed() -> Optional[FaultInjector]:
+    """The armed injector, or ``None`` (the hot-path gate).
+
+    Instrumented sites call this on every pass::
+
+        inj = armed()
+        if inj is not None:
+            fault = inj.draw("serve.scheduler")
+            ...
+    """
+    return _injector
+
+
+@contextmanager
+def inject(plan: FaultPlan) -> Iterator[FaultInjector]:
+    """Arm ``plan`` for the duration of a ``with`` block.
+
+    Also usable as a decorator (``@inject(plan)``).  Nesting is
+    rejected — two simultaneous plans would make the injected
+    sequence depend on arming order, breaking reproducibility.
+
+    Raises:
+        FaultError: The plan is invalid or another plan is armed.
+    """
+    global _injector
+    if _injector is not None:
+        raise FaultError("a fault plan is already armed; disarm it "
+                         "before injecting another")
+    injector = FaultInjector(plan)
+    _injector = injector
+    try:
+        yield injector
+    finally:
+        _injector = None
+
+
+def disarm() -> Optional[FaultInjector]:
+    """Force-disarm (crash-recovery escape hatch); returns the injector."""
+    global _injector
+    previous, _injector = _injector, None
+    return previous

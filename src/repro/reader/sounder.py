@@ -29,6 +29,7 @@ from repro.channel.multipath import MultipathChannel
 from repro.channel.noise import awgn, channel_estimate_noise_std
 from repro.channel.propagation import BackscatterLink
 from repro.errors import DynamicRangeError
+from repro.faults.inject import armed as fault_armed
 from repro.reader.frontend import SDRFrontEnd, USRP_N210
 from repro.reader.waveform import OFDMSounderConfig
 from repro.sensor.tag import TagState, WiForceTag
@@ -231,8 +232,24 @@ class FrameLevelSounder:
         # Sample the switch state mid-preamble.
         midpoints = times + 0.5 * (self.config.preamble_samples
                                    / self.config.bandwidth)
+        clock_fault = snr_fault = None
+        inj = fault_armed()
+        if inj is not None:
+            clock_fault = inj.draw("sensor.clock")
+            snr_fault = inj.draw("channel.snr")
+        if clock_fault is not None and clock_fault.kind == "duty_jitter":
+            # Jitter the switch sampling instants (duty-cycle timing
+            # noise); magnitude is the jitter std in frame periods.
+            midpoints = midpoints + clock_fault.rng().normal(
+                0.0, clock_fault.magnitude * self.config.frame_period,
+                frames)
         gamma = self.tag.reflection_series(self._frequencies, midpoints,
                                            state)
+        if clock_fault is not None and clock_fault.kind == "drift":
+            # Extra oscillator drift: a linear phase ramp over the
+            # capture; magnitude is the drift rate in rad/s.
+            ramp = clock_fault.magnitude * (times - times[0])
+            gamma = gamma * np.exp(1j * ramp)[:, None]
         if self.tag_phase_jitter > 0.0:
             # Oscillator phase wander rotates only the switched (AC)
             # part of the reflection; the off-off state is clock-free.
@@ -249,9 +266,23 @@ class FrameLevelSounder:
         estimates = (self._static[None, :]
                      + self._tag_gain[None, :] * gamma)
         noise_std = self.effective_noise_std()
+        if snr_fault is not None and snr_fault.kind == "collapse":
+            # SNR collapse: the noise floor is multiplied up by the
+            # fault magnitude for this capture.
+            noise_std = noise_std * snr_fault.magnitude
         if noise_std > 0.0:
             estimates = estimates + awgn(estimates.shape, noise_std ** 2,
                                          self._rng)
+        if snr_fault is not None and snr_fault.kind == "interference":
+            # Narrowband interferer on one random subcarrier, with
+            # amplitude `magnitude` times the RMS static field.
+            erng = snr_fault.rng()
+            tone = int(erng.integers(self._frequencies.size))
+            amplitude = snr_fault.magnitude * float(
+                np.mean(np.abs(self._static)))
+            phase = erng.uniform(0.0, 2.0 * np.pi, frames)
+            estimates = np.array(estimates)
+            estimates[:, tone] += amplitude * np.exp(1j * phase)
         return ChannelEstimateStream(
             estimates=estimates,
             times=times,

@@ -7,6 +7,13 @@ the core dataclasses (:class:`repro.core.estimator.ForceLocationEstimate`,
 contain only plain python scalars, so ``json.dumps`` round-trips them
 losslessly; ``to_json`` / ``from_json`` are provided for convenience.
 
+Decoders are hardened against hostile wire input: any malformed,
+truncated, or type-confused payload raises
+:class:`repro.errors.ProtocolError` (a :class:`ServeError`) — never a
+bare ``KeyError``/``TypeError``/``AttributeError`` — so a transport
+adapter can map *every* decode failure to one error response
+(fuzz-tested in ``tests/test_serve_protocol_fuzz.py``).
+
 :class:`SensorConfig` doubles as the *model cache key*: two sensors
 with equal configs share one calibrated :class:`SensorModel` and one
 estimator, which is also what lets the scheduler coalesce their
@@ -20,7 +27,30 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.core.estimator import ForceLocationEstimate
-from repro.errors import ServeError
+from repro.errors import ProtocolError
+
+#: Exception types a decoder converts into :class:`ProtocolError`.
+_DECODE_ERRORS = (KeyError, TypeError, ValueError, AttributeError,
+                  IndexError)
+
+
+def _require_dict(payload, what: str) -> dict:
+    """Gate every decoder on an actual dict payload."""
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"{what} payload must be a dict, got {type(payload).__name__}")
+    return payload
+
+
+def _decode_json(text, what: str) -> dict:
+    """Parse JSON text for a decoder (typed failure on bad input)."""
+    if not isinstance(text, (str, bytes, bytearray)):
+        raise ProtocolError(
+            f"{what} JSON must be text, got {type(text).__name__}")
+    try:
+        return json.loads(text)
+    except ValueError as exc:
+        raise ProtocolError(f"{what} is not valid JSON: {exc}") from exc
 
 
 @dataclass(frozen=True)
@@ -50,15 +80,25 @@ class SensorConfig:
 
     @classmethod
     def from_dict(cls, payload: dict) -> "SensorConfig":
-        """Inverse of :meth:`to_dict`; missing keys take defaults."""
+        """Inverse of :meth:`to_dict`; missing keys take defaults.
+
+        Raises:
+            ProtocolError: The payload is not a dict or a field does
+                not coerce to its wire type.
+        """
+        payload = _require_dict(payload, "sensor config")
         defaults = cls()
-        return cls(
-            carrier_frequency=float(payload.get(
-                "carrier_frequency", defaults.carrier_frequency)),
-            fast=bool(payload.get("fast", defaults.fast)),
-            touch_threshold_deg=float(payload.get(
-                "touch_threshold_deg", defaults.touch_threshold_deg)),
-        )
+        try:
+            return cls(
+                carrier_frequency=float(payload.get(
+                    "carrier_frequency", defaults.carrier_frequency)),
+                fast=bool(payload.get("fast", defaults.fast)),
+                touch_threshold_deg=float(payload.get(
+                    "touch_threshold_deg", defaults.touch_threshold_deg)),
+            )
+        except _DECODE_ERRORS as exc:
+            raise ProtocolError(
+                f"malformed sensor config: {exc}") from exc
 
 
 @dataclass(frozen=True)
@@ -97,7 +137,14 @@ class EstimateRequest:
 
     @classmethod
     def from_dict(cls, payload: dict) -> "EstimateRequest":
-        """Inverse of :meth:`to_dict`."""
+        """Inverse of :meth:`to_dict`.
+
+        Raises:
+            ProtocolError: The payload is not a dict, a required field
+                is missing, or a field does not coerce to its wire
+                type.
+        """
+        payload = _require_dict(payload, "estimate request")
         try:
             hint = payload.get("location_hint")
             return cls(
@@ -109,8 +156,11 @@ class EstimateRequest:
                 config=SensorConfig.from_dict(payload.get("config", {})),
                 location_hint=None if hint is None else float(hint),
             )
-        except (KeyError, TypeError, ValueError) as exc:
-            raise ServeError(f"malformed estimate request: {exc}") from exc
+        except ProtocolError:
+            raise
+        except _DECODE_ERRORS as exc:
+            raise ProtocolError(
+                f"malformed estimate request: {exc}") from exc
 
     def to_json(self) -> str:
         """Compact JSON encoding of :meth:`to_dict`."""
@@ -119,7 +169,7 @@ class EstimateRequest:
     @classmethod
     def from_json(cls, text: str) -> "EstimateRequest":
         """Inverse of :meth:`to_json`."""
-        return cls.from_dict(json.loads(text))
+        return cls.from_dict(_decode_json(text, "estimate request"))
 
 
 @dataclass(frozen=True)
@@ -132,6 +182,12 @@ class EstimateResponse:
         batch_size: Size of the micro-batch this request rode in
             (1 on the scalar path).
         latency_s: Service-side latency from admission to result [s].
+        quality: ``"ok"`` on the nominal path; ``"recovered"`` when
+            the request only succeeded after backpressure retries,
+            ``"degraded"`` when it rode a degraded path (scalar
+            fallback, injected stall, open circuit), ``"quarantined"``
+            while its session is re-warming its baseline.  The
+            estimate itself is always real.
     """
 
     sensor_id: str
@@ -140,6 +196,7 @@ class EstimateResponse:
     estimate: ForceLocationEstimate
     batch_size: int = 1
     latency_s: float = 0.0
+    quality: str = "ok"
 
     @property
     def force(self) -> float:
@@ -165,23 +222,35 @@ class EstimateResponse:
             "estimate": self.estimate.to_dict(),
             "batch_size": int(self.batch_size),
             "latency_s": float(self.latency_s),
+            "quality": str(self.quality),
         }
 
     @classmethod
     def from_dict(cls, payload: dict) -> "EstimateResponse":
-        """Inverse of :meth:`to_dict`."""
+        """Inverse of :meth:`to_dict` (``quality`` defaults ``"ok"``).
+
+        Raises:
+            ProtocolError: The payload is not a dict, a required field
+                is missing, or a field does not coerce to its wire
+                type.
+        """
+        payload = _require_dict(payload, "estimate response")
         try:
             return cls(
                 sensor_id=str(payload["sensor_id"]),
                 sequence=int(payload["sequence"]),
                 time=float(payload["time"]),
                 estimate=ForceLocationEstimate.from_dict(
-                    payload["estimate"]),
+                    _require_dict(payload["estimate"], "estimate")),
                 batch_size=int(payload.get("batch_size", 1)),
                 latency_s=float(payload.get("latency_s", 0.0)),
+                quality=str(payload.get("quality", "ok")),
             )
-        except (KeyError, TypeError, ValueError) as exc:
-            raise ServeError(f"malformed estimate response: {exc}") from exc
+        except ProtocolError:
+            raise
+        except _DECODE_ERRORS as exc:
+            raise ProtocolError(
+                f"malformed estimate response: {exc}") from exc
 
     def to_json(self) -> str:
         """Compact JSON encoding of :meth:`to_dict`."""
@@ -190,4 +259,4 @@ class EstimateResponse:
     @classmethod
     def from_json(cls, text: str) -> "EstimateResponse":
         """Inverse of :meth:`to_json`."""
-        return cls.from_dict(json.loads(text))
+        return cls.from_dict(_decode_json(text, "estimate response"))

@@ -41,6 +41,8 @@ import numpy as np
 
 from repro.core.estimator import ForceLocationEstimate, ForceLocationEstimator
 from repro.errors import QueueFullError, ServeError
+from repro.faults.inject import FaultEvent, armed as fault_armed
+from repro.faults.retry import CircuitBreaker
 from repro.obs.instruments import BATCH_BUCKETS
 from repro.obs.registry import Registry as Telemetry
 
@@ -85,11 +87,17 @@ class ScheduledEstimate:
         batch_size: How many requests shared the flushed micro-batch
             (1 on the scalar path).
         queue_seconds: Time spent parked waiting for the flush [s].
+        quality: ``"ok"`` on the nominal path; ``"degraded"`` when the
+            result rode a degraded path (injected stall, batch-flush
+            fallback, or an open circuit forcing scalar inversion) —
+            the estimate is still real, but its latency/coalescing
+            guarantees were not met.
     """
 
     estimate: ForceLocationEstimate
     batch_size: int
     queue_seconds: float
+    quality: str = "ok"
 
 
 @dataclass
@@ -101,6 +109,7 @@ class _Pending:
     location_hint: Optional[float]
     future: "asyncio.Future[ScheduledEstimate]"
     enqueued: float
+    quality: str = "ok"
 
 
 @dataclass
@@ -124,12 +133,22 @@ class MicroBatchScheduler:
         policy: Batching knobs (see :class:`BatchPolicy`).
         telemetry: Instrument registry; a private one is created when
             not given.
+        breaker: Circuit breaker over the batched-flush path.  After
+            ``failure_threshold`` consecutive flush failures the
+            scheduler stops batching and serves every request on the
+            scalar path (flagged ``quality="degraded"``) until the
+            breaker's half-open probe sees a flush succeed.  A default
+            breaker is created when not given.
     """
 
     def __init__(self, policy: Optional[BatchPolicy] = None,
-                 telemetry: Optional[Telemetry] = None):
+                 telemetry: Optional[Telemetry] = None,
+                 breaker: Optional[CircuitBreaker] = None):
         self.policy = policy if policy is not None else BatchPolicy()
         self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.breaker = breaker if breaker is not None else CircuitBreaker(
+            failure_threshold=5, recovery_timeout_s=1.0,
+            name="serve.batch")
         self._groups: Dict[Hashable, _Group] = {}
         self._pending_total = 0
 
@@ -156,9 +175,21 @@ class MicroBatchScheduler:
         """
         loop = asyncio.get_running_loop()
         self.telemetry.counter("serve.requests").increment()
+        quality = "ok"
+        inj = fault_armed()
+        if inj is not None:
+            fault = inj.draw("serve.scheduler")
+            if fault is not None:
+                quality = await self._apply_fault(fault)
         if not self.policy.enabled:
             return self._scalar(estimator, phi1, phi2, location_hint,
-                                loop.time())
+                                loop.time(), quality=quality)
+        if not self.breaker.allow():
+            # Open circuit: the batched path has been failing, so stop
+            # feeding it and serve degraded-but-correct scalar results.
+            self.telemetry.counter("serve.breaker_scalar").increment()
+            return self._scalar(estimator, phi1, phi2, location_hint,
+                                loop.time(), quality="degraded")
         if self._pending_total >= self.policy.max_queue:
             self.telemetry.counter("serve.rejected").increment()
             raise QueueFullError(
@@ -177,7 +208,8 @@ class MicroBatchScheduler:
         entry = _Pending(phi1=float(phi1), phi2=float(phi2),
                          location_hint=location_hint,
                          future=loop.create_future(),
-                         enqueued=loop.time())
+                         enqueued=loop.time(),
+                         quality=quality)
         group.entries.append(entry)
         self._pending_total += 1
         if len(group.entries) >= self.policy.max_batch:
@@ -187,9 +219,25 @@ class MicroBatchScheduler:
                                           self._flush, key)
         return await entry.future
 
+    async def _apply_fault(self, fault: FaultEvent) -> str:
+        """Apply one injected scheduler fault; returns the quality tag.
+
+        ``reject`` raises synthetic backpressure (exercising the
+        retry path); ``stall`` / ``slow_consumer`` sleep for the
+        fault's magnitude [s] and tag the eventual result
+        ``"degraded"`` so consumers know the latency budget was blown.
+        """
+        if fault.kind == "reject":
+            self.telemetry.counter("serve.rejected").increment()
+            raise QueueFullError(
+                "injected backpressure fault (serve.scheduler/reject); "
+                "retry later or shed load")
+        await asyncio.sleep(fault.magnitude)
+        return "degraded"
+
     def _scalar(self, estimator: ForceLocationEstimator, phi1: float,
                 phi2: float, location_hint: Optional[float],
-                start: float) -> ScheduledEstimate:
+                start: float, quality: str = "ok") -> ScheduledEstimate:
         """The degraded (batching-off) path: immediate scalar invert."""
         self.telemetry.counter("serve.scalar_direct").increment()
         estimate = estimator.invert(float(phi1), float(phi2),
@@ -198,7 +246,8 @@ class MicroBatchScheduler:
         self.telemetry.histogram("serve.batch_size",
                                  BATCH_BUCKETS).observe(1)
         return ScheduledEstimate(estimate=estimate, batch_size=1,
-                                 queue_seconds=loop.time() - start)
+                                 queue_seconds=loop.time() - start,
+                                 quality=quality)
 
     def flush_all(self) -> None:
         """Flush every group now (shutdown / end-of-load drain)."""
@@ -235,8 +284,10 @@ class MicroBatchScheduler:
                     "degrading to per-request scalar inversion",
                     size, type(exc).__name__, exc)
                 self.telemetry.counter("serve.batch_fallbacks").increment()
+                self.breaker.record_failure()
                 self._resolve_scalar(group.estimator, entries, loop)
                 return
+        self.breaker.record_success()
         now = loop.time()
         queue_hist = self.telemetry.histogram("serve.queue_seconds")
         for entry, estimate in zip(entries, estimates):
@@ -245,7 +296,7 @@ class MicroBatchScheduler:
             if not entry.future.done():
                 entry.future.set_result(ScheduledEstimate(
                     estimate=estimate, batch_size=size,
-                    queue_seconds=waited))
+                    queue_seconds=waited, quality=entry.quality))
 
     @staticmethod
     def _invert_batched(estimator: ForceLocationEstimator,
@@ -288,4 +339,5 @@ class MicroBatchScheduler:
                 continue
             entry.future.set_result(ScheduledEstimate(
                 estimate=estimate, batch_size=1,
-                queue_seconds=loop.time() - entry.enqueued))
+                queue_seconds=loop.time() - entry.enqueued,
+                quality="degraded"))

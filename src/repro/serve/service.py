@@ -26,7 +26,8 @@ import asyncio
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.tracking import TouchEvent, TrackedSample
-from repro.errors import ServeError
+from repro.errors import QueueFullError, ServeError
+from repro.faults.retry import RetryPolicy, retry_async
 from repro.obs.instruments import TelemetrySink
 from repro.obs.registry import Registry
 from repro.serve.protocol import EstimateRequest, EstimateResponse
@@ -50,6 +51,11 @@ class InferenceService:
             ``repro.obs.get_registry()``) so the service's instruments
             land next to the reader/estimator/campaign ones; default
             is a private registry, keeping services isolated.
+        retry_policy: Bounded retry budget applied when the scheduler
+            answers :class:`QueueFullError` — transient backpressure
+            (a momentarily full queue, an injected rejection) is
+            retried with seeded exponential backoff before the error
+            reaches the caller.  ``attempts=1`` disables retrying.
     """
 
     def __init__(self, policy: Optional[BatchPolicy] = None,
@@ -57,7 +63,8 @@ class InferenceService:
                  baseline_samples: int = 0,
                  sink: Optional[TelemetrySink] = None,
                  history: bool = True,
-                 registry: Optional[Registry] = None):
+                 registry: Optional[Registry] = None,
+                 retry_policy: Optional[RetryPolicy] = None):
         self.telemetry = registry if registry is not None \
             else Registry(sink)
         self.sessions = SessionManager(model_factory,
@@ -65,12 +72,15 @@ class InferenceService:
                                        history=history)
         self.scheduler = MicroBatchScheduler(policy,
                                              telemetry=self.telemetry)
+        self.retry_policy = (retry_policy if retry_policy is not None
+                             else RetryPolicy())
 
     async def estimate(self, request: EstimateRequest) -> EstimateResponse:
         """Serve one request (may park awaiting its micro-batch).
 
         Raises:
-            QueueFullError: Backpressure — the scheduler queue is full.
+            QueueFullError: Backpressure — the scheduler queue stayed
+                full through the whole retry budget.
             ServeError: Session/config routing failure.
         """
         loop = asyncio.get_running_loop()
@@ -78,22 +88,40 @@ class InferenceService:
         session = self.sessions.session(request.sensor_id, request.config)
         phi1, phi2 = session.correct(request.time, request.phi1,
                                      request.phi2)
-        scheduled = await self.scheduler.submit(
-            session.estimator, phi1, phi2,
-            location_hint=request.location_hint,
-            key=session.config)
+        retried = False
+
+        def _saw_retry(attempt: int, exc: BaseException) -> None:
+            nonlocal retried
+            retried = True
+
+        scheduled = await retry_async(
+            lambda: self.scheduler.submit(
+                session.estimator, phi1, phi2,
+                location_hint=request.location_hint,
+                key=session.config),
+            policy=self.retry_policy,
+            retry_on=(QueueFullError,),
+            name="serve.submit",
+            on_retry=_saw_retry)
+        quality = scheduled.quality
+        if retried and quality == "ok":
+            quality = "recovered"
+        session.note_quality(quality)
+        if session.quarantined:
+            quality = "quarantined"
         estimate = scheduled.estimate
         session.record(TrackedSample(
             time=request.time, phi1=phi1, phi2=phi2,
             touched=estimate.touched, force=estimate.force,
-            location=estimate.location))
+            location=estimate.location, quality=quality))
         latency = loop.time() - start
         self.telemetry.histogram("serve.latency_seconds").observe(latency)
         self.telemetry.counter("serve.responses").increment()
         return EstimateResponse(
             sensor_id=request.sensor_id, sequence=request.sequence,
             time=request.time, estimate=estimate,
-            batch_size=scheduled.batch_size, latency_s=latency)
+            batch_size=scheduled.batch_size, latency_s=latency,
+            quality=quality)
 
     async def estimate_dict(self, payload: dict) -> dict:
         """JSON-boundary variant of :meth:`estimate` (dict in/out)."""

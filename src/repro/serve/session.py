@@ -61,21 +61,35 @@ class SensorSession:
             phase reference and drift; 0 disables correction (the
             stream's phases are already baseline-referenced).
         history: Keep every tracked sample for touch-event queries.
+        quarantine_after: Consecutive non-``"ok"`` results that
+            quarantine the session: its baseline/drift state is
+            discarded and re-warmed from scratch, on the theory that a
+            stream which keeps degrading may have drifted past its
+            fitted reference.  Responses served while quarantined are
+            flagged ``quality="quarantined"``.
     """
 
     def __init__(self, sensor_id: str, config: SensorConfig,
                  estimator: ForceLocationEstimator,
-                 baseline_samples: int = 0, history: bool = True):
+                 baseline_samples: int = 0, history: bool = True,
+                 quarantine_after: int = 5):
         if baseline_samples < 0:
             raise ServeError(
                 f"baseline_samples must be >= 0, got {baseline_samples}")
+        if quarantine_after < 1:
+            raise ServeError(
+                f"quarantine_after must be >= 1, got {quarantine_after}")
         self.sensor_id = sensor_id
         self.config = config
         self.estimator = estimator
         self.baseline_samples = int(baseline_samples)
         self.keep_history = bool(history)
+        self.quarantine_after = int(quarantine_after)
         self.samples: List[TrackedSample] = []
         self.request_count = 0
+        self.consecutive_faults = 0
+        self.quarantines = 0
+        self.quarantined = False
         self._warmup: List[Tuple[float, float, float]] = []
         self._reference: Optional[Tuple[float, float]] = None
         self._drift: Optional[Tuple[float, float]] = None
@@ -137,6 +151,37 @@ class SensorSession:
         self._reference = (references[0], references[1])
         self._drift = (drifts[0], drifts[1])
         self._warmup.clear()
+        self.quarantined = False
+
+    def note_quality(self, quality: str) -> None:
+        """Track result quality; quarantine on a streak of failures.
+
+        ``"ok"`` results clear the failure streak (and, once the
+        baseline is re-fitted, lift an active quarantine);
+        ``quarantine_after`` consecutive non-ok results trigger
+        :meth:`quarantine`.
+        """
+        if quality == "ok":
+            self.consecutive_faults = 0
+            if self.quarantined and self.baseline_ready:
+                self.quarantined = False
+            return
+        self.consecutive_faults += 1
+        if (not self.quarantined
+                and self.consecutive_faults >= self.quarantine_after):
+            self.quarantine()
+
+    def quarantine(self) -> None:
+        """Discard the fitted baseline and re-warm from scratch."""
+        self.quarantines += 1
+        self.consecutive_faults = 0
+        self.quarantined = True
+        self._warmup.clear()
+        self._reference = None
+        self._drift = None
+        obs = active()
+        if obs is not None:
+            obs.counter("fault.quarantines").increment()
 
     def record(self, sample: TrackedSample) -> None:
         """Append one tracked sample to the session history."""

@@ -66,6 +66,19 @@ class TestExtractMetrics:
         assert compare_bench.extract_metrics(report) == {
             "warm_speedup": 3.8}
 
+    def test_chaos_schema(self):
+        report = {"survival": {"survival_rate": 0.98, "crashes": 0},
+                  "injected_faults": 20}
+        assert compare_bench.extract_metrics(report) == {
+            "chaos_survival_rate": 0.98}
+
+    def test_chaos_survival_regression_fails(self):
+        baseline = {"survival": {"survival_rate": 1.0}}
+        fresh = {"survival": {"survival_rate": 0.5}}
+        _, failures = compare_bench.compare(baseline, fresh)
+        assert len(failures) == 1
+        assert "chaos_survival_rate" in failures[0]
+
     def test_unknown_schema_is_empty(self):
         assert compare_bench.extract_metrics({"something": 1}) == {}
 
@@ -163,7 +176,7 @@ class TestMain:
         """The committed BENCH_*.json files pass against themselves."""
         results = _SCRIPT.parent / "results"
         for name in ("BENCH_estimator.json", "BENCH_serve.json",
-                     "BENCH_cache.json"):
+                     "BENCH_cache.json", "BENCH_chaos.json"):
             path = results / name
             assert compare_bench.main(["--baseline", str(path),
                                        "--fresh", str(path)]) == 0

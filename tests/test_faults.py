@@ -1,0 +1,336 @@
+"""Fault layer units: plans, the injector registry, retries, breaker."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError, FaultError, QueueFullError
+from repro.faults import (
+    SITES,
+    CircuitBreaker,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    RetryPolicy,
+    armed,
+    disarm,
+    inject,
+    retry_sync,
+    unit_draw,
+    validate_plan,
+)
+
+
+class TestUnitDraw:
+    def test_in_unit_interval(self):
+        for counter in range(200):
+            value = unit_draw(7, "site", "kind", counter)
+            assert 0.0 <= value < 1.0
+
+    def test_pure_function_of_arguments(self):
+        assert (unit_draw(3, "a", 1) == unit_draw(3, "a", 1))
+        assert (unit_draw(3, "a", 1) != unit_draw(4, "a", 1))
+        assert (unit_draw(3, "a", 1) != unit_draw(3, "b", 1))
+
+    def test_roughly_uniform(self):
+        draws = [unit_draw(0, "x", c) for c in range(2000)]
+        mean = sum(draws) / len(draws)
+        assert 0.45 < mean < 0.55
+
+
+class TestFaultSpec:
+    def test_validates_fields(self):
+        with pytest.raises(FaultError):
+            FaultSpec(site="", kind="stall")
+        with pytest.raises(FaultError):
+            FaultSpec(site="s", kind="k", probability=1.5)
+        with pytest.raises(FaultError):
+            FaultSpec(site="s", kind="k", duration=0)
+        with pytest.raises(FaultError):
+            FaultSpec(site="s", kind="k", schedule=(-1,))
+
+    def test_schedule_fires_exactly_there(self):
+        spec = FaultSpec(site="s", kind="k", schedule=(2, 5))
+        fired = [c for c in range(10) if spec.fires(0, c)]
+        assert fired == [2, 5]
+
+    def test_burst_duration_extends_schedule(self):
+        spec = FaultSpec(site="s", kind="k", schedule=(3,), duration=3)
+        fired = [c for c in range(10) if spec.fires(0, c)]
+        assert fired == [3, 4, 5]
+
+    def test_probability_is_counter_deterministic(self):
+        spec = FaultSpec(site="s", kind="k", probability=0.3)
+        first = [spec.fires(11, c) for c in range(100)]
+        second = [spec.fires(11, c) for c in range(100)]
+        assert first == second
+        assert any(first) and not all(first)
+
+    def test_zero_probability_never_fires(self):
+        spec = FaultSpec(site="s", kind="k", probability=0.0)
+        assert not any(spec.fires(0, c) for c in range(50))
+
+    def test_per_spec_seed_decorrelates(self):
+        a = FaultSpec(site="s", kind="k", probability=0.5, seed=0)
+        b = FaultSpec(site="s", kind="k", probability=0.5, seed=1)
+        assert ([a.fires(0, c) for c in range(64)]
+                != [b.fires(0, c) for c in range(64)])
+
+    def test_dict_round_trip(self):
+        spec = FaultSpec(site="serve.scheduler", kind="stall",
+                         probability=0.25, schedule=(1, 4),
+                         magnitude=0.5, duration=2, seed=9)
+        assert FaultSpec.from_dict(spec.to_dict()) == spec
+
+    def test_malformed_dict_raises_fault_error(self):
+        with pytest.raises(FaultError):
+            FaultSpec.from_dict("not a dict")
+        with pytest.raises(FaultError):
+            FaultSpec.from_dict({"site": "s"})  # no kind
+        with pytest.raises(FaultError):
+            FaultSpec.from_dict({"site": "s", "kind": "k",
+                                 "probability": "lots"})
+
+
+class TestFaultPlan:
+    def _plan(self):
+        return FaultPlan(
+            name="test",
+            seed=5,
+            specs=(
+                FaultSpec(site="serve.scheduler", kind="stall",
+                          probability=0.1),
+                FaultSpec(site="cache.store", kind="corrupt",
+                          schedule=(0,)),
+            ),
+        )
+
+    def test_sites_and_specs_for(self):
+        plan = self._plan()
+        assert plan.sites == ("cache.store", "serve.scheduler")
+        assert len(plan.specs_for("serve.scheduler")) == 1
+        assert plan.specs_for("reader.capture") == ()
+
+    def test_json_round_trip(self):
+        plan = self._plan()
+        assert FaultPlan.from_json(plan.to_json()) == plan
+        assert json.loads(plan.to_json())["seed"] == 5
+
+    def test_save_load_round_trip(self, tmp_path):
+        plan = self._plan()
+        path = tmp_path / "plan.json"
+        plan.save(path)
+        assert FaultPlan.load(path) == plan
+
+    def test_malformed_json_raises_fault_error(self):
+        with pytest.raises(FaultError):
+            FaultPlan.from_json("{not json")
+        with pytest.raises(FaultError):
+            FaultPlan.from_dict([1, 2, 3])
+
+    def test_specs_must_be_fault_specs(self):
+        with pytest.raises(FaultError):
+            FaultPlan(specs=({"site": "s"},))
+
+
+class TestInjector:
+    def test_registry_names_all_issue_sites(self):
+        assert set(SITES) == {
+            "reader.capture", "channel.snr", "sensor.clock",
+            "cache.store", "serve.scheduler", "experiments.parallel",
+        }
+
+    def test_validate_rejects_unknown_site_and_kind(self):
+        with pytest.raises(FaultError):
+            validate_plan(FaultPlan(specs=(
+                FaultSpec(site="nope", kind="stall"),)))
+        with pytest.raises(FaultError):
+            validate_plan(FaultPlan(specs=(
+                FaultSpec(site="serve.scheduler", kind="dropout"),)))
+
+    def test_draw_advances_counter_and_records_events(self):
+        plan = FaultPlan(specs=(
+            FaultSpec(site="serve.scheduler", kind="stall",
+                      schedule=(1,), magnitude=0.5),))
+        injector = FaultInjector(plan)
+        assert injector.draw("serve.scheduler") is None
+        event = injector.draw("serve.scheduler")
+        assert event is not None
+        assert (event.site, event.kind, event.counter) == (
+            "serve.scheduler", "stall", 1)
+        assert event.magnitude == 0.5
+        assert injector.counter("serve.scheduler") == 2
+        assert injector.event_dicts() == [event.to_dict()]
+
+    def test_draw_at_does_not_advance(self):
+        plan = FaultPlan(specs=(
+            FaultSpec(site="experiments.parallel", kind="crash",
+                      schedule=(3,)),))
+        injector = FaultInjector(plan)
+        assert injector.draw_at("experiments.parallel", 3) is not None
+        assert injector.draw_at("experiments.parallel", 3) is not None
+        assert injector.counter("experiments.parallel") == 0
+
+    def test_event_rng_is_deterministic(self):
+        plan = FaultPlan(specs=(
+            FaultSpec(site="cache.store", kind="corrupt",
+                      schedule=(0,)),))
+        a = FaultInjector(plan).draw("cache.store")
+        b = FaultInjector(plan).draw("cache.store")
+        assert a.rng().integers(1 << 30) == b.rng().integers(1 << 30)
+
+    def test_unknown_site_draw_is_noop(self):
+        injector = FaultInjector(FaultPlan())
+        assert injector.draw("serve.scheduler") is None
+
+
+class TestArming:
+    def test_unarmed_by_default(self):
+        assert armed() is None
+
+    def test_inject_arms_and_disarms(self):
+        plan = FaultPlan(specs=(
+            FaultSpec(site="serve.scheduler", kind="stall",
+                      probability=0.1),))
+        with inject(plan) as injector:
+            assert armed() is injector
+        assert armed() is None
+
+    def test_nesting_is_rejected(self):
+        plan = FaultPlan()
+        with inject(plan):
+            with pytest.raises(FaultError):
+                with inject(plan):
+                    pass
+        assert armed() is None
+
+    def test_invalid_plan_is_rejected_before_arming(self):
+        bad = FaultPlan(specs=(FaultSpec(site="nope", kind="k"),))
+        with pytest.raises(FaultError):
+            with inject(bad):
+                pass
+        assert armed() is None
+
+    def test_disarm_escape_hatch(self):
+        plan = FaultPlan()
+        with inject(plan) as injector:
+            assert disarm() is injector
+            assert armed() is None
+
+
+class TestRetry:
+    def test_policy_validation(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(attempts=0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(jitter=1.0)
+
+    def test_delays_are_seeded_and_bounded(self):
+        policy = RetryPolicy(attempts=5, base_delay_s=0.01,
+                             multiplier=2.0, max_delay_s=0.03,
+                             jitter=0.1, seed=3)
+        first = list(policy.delays())
+        second = list(policy.delays())
+        assert first == second
+        assert len(first) == 4
+        assert all(delay <= 0.03 * 1.1 for delay in first)
+
+    def test_retry_sync_recovers_then_succeeds(self):
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise QueueFullError("full")
+            return "done"
+
+        slept = []
+        result = retry_sync(flaky, RetryPolicy(attempts=3),
+                            retry_on=(QueueFullError,),
+                            sleep=slept.append)
+        assert result == "done"
+        assert calls["n"] == 3
+        assert len(slept) == 2
+
+    def test_budget_exhaustion_reraises_original_type(self):
+        def always_full():
+            raise QueueFullError("full")
+
+        with pytest.raises(QueueFullError):
+            retry_sync(always_full, RetryPolicy(attempts=3),
+                       retry_on=(QueueFullError,),
+                       sleep=lambda _: None)
+
+    def test_unlisted_exception_propagates_immediately(self):
+        calls = {"n": 0}
+
+        def boom():
+            calls["n"] += 1
+            raise ValueError("nope")
+
+        with pytest.raises(ValueError):
+            retry_sync(boom, RetryPolicy(attempts=5),
+                       retry_on=(QueueFullError,),
+                       sleep=lambda _: None)
+        assert calls["n"] == 1
+
+
+class TestCircuitBreaker:
+    def _breaker(self, clock, threshold=2, timeout=1.0):
+        return CircuitBreaker(failure_threshold=threshold,
+                              recovery_timeout_s=timeout,
+                              clock=lambda: clock["t"])
+
+    def test_opens_at_threshold_and_fast_fails(self):
+        clock = {"t": 0.0}
+        breaker = self._breaker(clock)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+
+    def test_half_open_probe_then_close(self):
+        clock = {"t": 0.0}
+        breaker = self._breaker(clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        clock["t"] = 1.5
+        assert breaker.state == "half_open"
+        assert breaker.allow()       # the one probe
+        assert not breaker.allow()   # concurrent callers stay blocked
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_half_open_probe_failure_reopens(self):
+        clock = {"t": 0.0}
+        breaker = self._breaker(clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        clock["t"] = 1.5
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+
+    def test_success_resets_failure_streak(self):
+        clock = {"t": 0.0}
+        breaker = self._breaker(clock, threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        assert breaker.consecutive_failures == 0
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(recovery_timeout_s=-1.0)

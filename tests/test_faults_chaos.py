@@ -1,0 +1,145 @@
+"""Chaos harness: determinism, survival accounting, report shape.
+
+The load-bearing acceptance properties: two chaos runs with identical
+(plan, seed, profile) arguments produce bit-identical ``events`` and
+``survival`` blocks, the built-in default plan produces zero crashes
+with a survival rate >= 0.95, and the report carries a
+``schema_version=2`` manifest.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import armed
+from repro.faults.chaos import (
+    GRACEFUL_QUALITIES,
+    _survival,
+    default_plan,
+    default_profile,
+    run_chaos,
+    summarize,
+)
+from repro.errors import QueueFullError
+from repro.serve.loadgen import LoadProfile
+from repro.serve.protocol import EstimateResponse
+
+
+@pytest.fixture(scope="module")
+def small_profile():
+    return LoadProfile(sensors=2, requests_per_sensor=24)
+
+
+@pytest.fixture(scope="module")
+def chaos_pair(model_900, small_profile):
+    """Two independent chaos runs with identical arguments."""
+    factory = lambda config: model_900  # noqa: E731
+    return tuple(
+        run_chaos(profile=small_profile, seed=0, model_factory=factory)
+        for _ in range(2)
+    )
+
+
+class TestDefaultPlan:
+    def test_targets_only_the_scheduler_site(self):
+        plan = default_plan()
+        assert plan.sites == ("serve.scheduler",)
+        kinds = {spec.kind for spec in plan.specs}
+        assert kinds == {"stall", "slow_consumer", "reject"}
+
+    def test_seed_threads_through(self):
+        assert default_plan(5).seed == 5
+        assert default_plan(5) != default_plan(6)
+
+    def test_default_profile_is_ci_sized(self):
+        profile = default_profile()
+        assert profile.total_requests <= 256
+
+
+class TestChaosRun:
+    def test_events_and_survival_are_deterministic(self, chaos_pair):
+        first, second = chaos_pair
+        assert first["events"] == second["events"]
+        assert first["survival"] == second["survival"]
+        assert first["injected_faults"] == second["injected_faults"]
+
+    def test_faults_were_actually_injected(self, chaos_pair):
+        report = chaos_pair[0]
+        assert report["injected_faults"] > 0
+        assert all(event["site"] == "serve.scheduler"
+                   for event in report["events"])
+
+    def test_survival_acceptance_bar(self, chaos_pair):
+        survival = chaos_pair[0]["survival"]
+        assert survival["crashes"] == 0
+        assert survival["crash_types"] == []
+        assert survival["survival_rate"] >= 0.95
+        assert survival["total_requests"] == 48
+
+    def test_accounting_adds_up(self, chaos_pair):
+        survival = chaos_pair[0]["survival"]
+        graceful = sum(survival[q] for q in GRACEFUL_QUALITIES)
+        assert survival["graceful"] == graceful
+        assert survival["faulted_requests"] == (
+            graceful + survival["shed"] + survival["crashes"])
+        assert (survival["ok"] + survival["faulted_requests"]
+                == survival["total_requests"])
+
+    def test_report_is_manifest_stamped(self, chaos_pair):
+        report = chaos_pair[0]
+        manifest = report["manifest"]
+        assert report["schema_version"] == 2
+        assert {"config_hash", "git_sha", "python_version",
+                "platform"} <= set(manifest)
+
+    def test_seed_override_rebuilds_plan(self, model_900,
+                                         small_profile):
+        plan = default_plan(0)
+        report = run_chaos(plan=plan, seed=3, profile=small_profile,
+                           model_factory=lambda config: model_900)
+        assert report["plan"]["seed"] == 3
+        assert report["plan"]["name"] == plan.name
+
+    def test_disarms_after_run(self, chaos_pair):
+        assert chaos_pair is not None
+        assert armed() is None
+
+    def test_summarize_renders_the_key_numbers(self, chaos_pair):
+        text = summarize(chaos_pair[0])
+        assert "survival rate" in text
+        assert "crashes 0" in text
+
+
+class TestSurvivalAccounting:
+    def _response(self, quality):
+        from repro.core.estimator import ForceLocationEstimate
+
+        return EstimateResponse(
+            sensor_id="s", sequence=0, time=0.0,
+            estimate=ForceLocationEstimate(force=1.0, location=0.02,
+                                           residual=0.0, touched=True),
+            quality=quality)
+
+    def test_counts_each_outcome_class(self):
+        outcomes = [
+            self._response("ok"),
+            self._response("degraded"),
+            self._response("recovered"),
+            self._response("quarantined"),
+            QueueFullError("full"),
+            RuntimeError("boom"),
+        ]
+        survival = _survival(outcomes)
+        assert survival["ok"] == 1
+        assert survival["degraded"] == 1
+        assert survival["recovered"] == 1
+        assert survival["quarantined"] == 1
+        assert survival["shed"] == 1
+        assert survival["crashes"] == 1
+        assert survival["crash_types"] == ["RuntimeError"]
+        assert survival["survival_rate"] == pytest.approx(3 / 5)
+
+    def test_no_faults_is_perfect_survival(self):
+        survival = _survival([self._response("ok")] * 4)
+        assert survival["faulted_requests"] == 0
+        assert survival["survival_rate"] == 1.0
