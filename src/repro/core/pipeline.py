@@ -167,23 +167,46 @@ class WiForceReader:
         """Total sounding time consumed so far [s]."""
         return self._clock
 
+    def _use_fast_path(self) -> bool:
+        """Whether the fused capture+extract path can serve this read.
+
+        The harmonic fast path of :class:`repro.reader.batch.FastSounder`
+        bypasses the frame-level stream, so it only runs when no fault
+        plan is armed: an armed injector must see every site visited in
+        the oracle's order (sounder-level faults perturb the stream,
+        reader-level faults mutate it), which requires the stream path.
+        """
+        return (fault_armed() is None
+                and hasattr(self.sounder, "capture_matrices")
+                and hasattr(self.sounder, "supports_matrices")
+                and self.sounder.supports_matrices(self.extractor))
+
     def _capture_matrices(self, state: TagState,
                           groups: int) -> Dict[float, HarmonicMatrix]:
         frames = self.extractor.group_length * groups
-        with maybe_span("reader.capture", {"frames": frames}):
-            stream = self.sounder.capture(state, frames,
-                                          start_time=self._clock)
-            self._clock += frames * self.sounder.config.frame_period
-            inj = fault_armed()
-            if inj is not None:
-                fault = inj.draw("reader.capture")
-                if fault is not None:
-                    stream = _faulted_stream(stream, fault)
-            matrices = self.extractor.extract(stream)
+        fast = self._use_fast_path()
+        with maybe_span("reader.capture", {"frames": frames,
+                                           "fast": fast}):
+            if fast:
+                matrices = self.sounder.capture_matrices(
+                    state, groups, self.extractor, start_time=self._clock)
+                self._clock += frames * self.sounder.config.frame_period
+            else:
+                stream = self.sounder.capture(state, frames,
+                                              start_time=self._clock)
+                self._clock += frames * self.sounder.config.frame_period
+                inj = fault_armed()
+                if inj is not None:
+                    fault = inj.draw("reader.capture")
+                    if fault is not None:
+                        stream = _faulted_stream(stream, fault)
+                matrices = self.extractor.extract(stream)
         obs = active()
         if obs is not None:
             obs.counter("reader.captures").increment()
             obs.counter("reader.frames").increment(frames)
+            if fast:
+                obs.counter("reader.fast_captures").increment()
         return matrices
 
     def _derotated_vector(self, matrix: HarmonicMatrix,

@@ -38,6 +38,7 @@ from repro.experiments.scenarios import (
     calibrated_model,
 )
 from repro.mechanics.indenter import GroundTruthRig
+from repro.reader.batch import FastSounder
 from repro.reader.sounder import FrameLevelSounder
 from repro.reader.waveform import OFDMSounderConfig
 from repro.sensor.fabrication import FabricationTolerances, perturbed_design
@@ -108,9 +109,9 @@ def _fabricated_unit(unit: int, carrier: float, seed: int,
                                  location_points=17)
     tag = WiForceTag(transducer, clock_offset_ppm=20.0)
     config = OFDMSounderConfig(carrier_frequency=carrier)
-    sounder = FrameLevelSounder(config, tag, BackscatterLink(),
-                                indoor_channel(carrier, rng=rng),
-                                rng=rng)
+    sounder = FastSounder(config, tag, BackscatterLink(),
+                          indoor_channel(carrier, rng=rng),
+                          rng=rng)
     return tag, sounder, rng
 
 

@@ -39,7 +39,7 @@ from repro.experiments.scenarios import (
     thin_trace_transducer,
 )
 from repro.mechanics.indenter import GroundTruthRig
-from repro.reader.sounder import FrameLevelSounder
+from repro.reader.batch import FastSounder
 from repro.reader.waveform import OFDMSounderConfig
 from repro.rf.elements import line_twoport
 from repro.rf.microstrip import MicrostripLine, synthesize_ratio_for_impedance
@@ -439,7 +439,7 @@ def run_tissue(fast: bool = True, carrier: float = 900e6,
     # quantization floor.
     open_link = BackscatterLink(tx_to_tag=0.5, tag_to_rx=0.5, tx_to_rx=1.0,
                                 tag_blockage_db=one_way)
-    open_sounder = FrameLevelSounder(config, tag, open_link,
+    open_sounder = FastSounder(config, tag, open_link,
                                      indoor_channel(carrier, rng=rng),
                                      rng=rng)
     saturated = False
@@ -453,7 +453,7 @@ def run_tissue(fast: bool = True, carrier: float = 900e6,
     plate_link = BackscatterLink(tx_to_tag=0.5, tag_to_rx=0.5, tx_to_rx=1.0,
                                  tag_blockage_db=one_way,
                                  direct_blockage_db=45.0)
-    plate_sounder = FrameLevelSounder(config, tag, plate_link,
+    plate_sounder = FastSounder(config, tag, plate_link,
                                       indoor_channel(carrier, rng=rng),
                                       rng=rng)
     reader = WiForceReader(plate_sounder, model, groups_per_capture=6)
@@ -558,7 +558,7 @@ def _stability_for_link(link: BackscatterLink, tag: WiForceTag,
                         carrier: float, groups: int,
                         rng: np.random.Generator) -> float:
     config = OFDMSounderConfig(carrier_frequency=carrier, tx_power_dbm=10.0)
-    sounder = FrameLevelSounder(config, tag, link,
+    sounder = FastSounder(config, tag, link,
                                 indoor_channel(carrier, rng=rng), rng=rng)
     group_length = integer_period_group_length(
         config.frame_period, tag.clocking.clock_port1.frequency)
@@ -763,7 +763,7 @@ def run_averaging_ablation(fast: bool = True, carrier: float = 900e6,
     tag = WiForceTag(transducer)
     link = BackscatterLink(tx_to_tag=3.0, tag_to_rx=3.0, tx_to_rx=6.0)
     config = OFDMSounderConfig(carrier_frequency=carrier, tx_power_dbm=10.0)
-    sounder = FrameLevelSounder(config, tag, link,
+    sounder = FastSounder(config, tag, link,
                                 indoor_channel(carrier, rng=rng),
                                 tag_phase_jitter_deg_per_sqrt_s=0.0,
                                 rng=rng)
@@ -872,7 +872,7 @@ def _form_factor_trial(index: int, scale: float, base_carrier: float,
 
     rng = np.random.default_rng(seed + index)
     config = OFDMSounderConfig(carrier_frequency=carrier)
-    sounder = FrameLevelSounder(config, tag, BackscatterLink(),
+    sounder = FastSounder(config, tag, BackscatterLink(),
                                 indoor_channel(carrier, rng=rng),
                                 rng=rng)
     reader = WiForceReader(sounder, model)

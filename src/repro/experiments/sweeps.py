@@ -25,7 +25,7 @@ from repro.experiments.scenarios import (
     fast_transducer,
 )
 from repro.mechanics.indenter import GroundTruthRig
-from repro.reader.sounder import FrameLevelSounder
+from repro.reader.batch import FastSounder
 from repro.reader.waveform import OFDMSounderConfig
 from repro.sensor.tag import TagState, WiForceTag
 
@@ -81,7 +81,7 @@ def _build_reader(carrier: float, fast: bool, seed: int,
                              rng=rng)
     config = OFDMSounderConfig(carrier_frequency=carrier,
                                tx_power_dbm=tx_power_dbm)
-    sounder = FrameLevelSounder(config, tag, link, clutter, rng=rng)
+    sounder = FastSounder(config, tag, link, clutter, rng=rng)
     model = calibrated_model(carrier, fast=fast)
     return WiForceReader(sounder, model,
                          groups_per_capture=groups_per_capture)

@@ -38,10 +38,16 @@ SITES: Dict[str, tuple] = {
     # dropout bursts, capture-clock desync jumps, phase-jump glitches.
     "reader.capture": ("dropout", "desync", "phase_jump"),
     # Channel synthesis in the sounder: SNR collapse (noise floor
-    # multiplied up) and narrowband interference bursts.
+    # multiplied up) and narrowband interference bursts.  Batched
+    # sounders (repro.reader.batch) draw this site once per capture in
+    # capture order — the same visit sequence as a sequential oracle
+    # run — so chaos replay stays bit-deterministic; the reader's
+    # harmonic fast path is disabled while any plan is armed for the
+    # same reason.
     "channel.snr": ("collapse", "interference"),
     # Tag clock non-idealities: extra oscillator drift and duty-cycle
-    # timing jitter on the switch sampling instants.
+    # timing jitter on the switch sampling instants.  Same per-capture
+    # visit ordering contract as channel.snr in the batched path.
     "sensor.clock": ("drift", "duty_jitter"),
     # Artifact-cache disk tier: corrupt the raw bytes of a read so the
     # integrity check must catch it and degrade to a recompute.

@@ -2,19 +2,22 @@
 
 The reader transmits a wideband waveform and extracts periodic channel
 estimates H[k, n] (paper section 4.4: 64-subcarrier, 12.5 MHz OFDM with
-a fresh estimate every 60 us).  Two fidelity levels are provided and
-cross-validated in the tests: a sample-level OFDM modem, and a fast
-frame-level sounder that synthesises the channel-estimate stream
-directly.  An FMCW sounder demonstrates the waveform-agnostic claim of
-section 3.3, and the front-end model enforces the USRP's dynamic-range
-limit that drives the tissue experiment's metal-plate isolation
-(section 5.2).
+a fresh estimate every 60 us).  Three fidelity levels are provided and
+cross-validated in the tests: a sample-level OFDM modem, a frame-level
+sounder that synthesises the channel-estimate stream directly (the
+bit-level verification oracle), and a batched fast sounder that fuses
+captures — and, for the reader pipeline, the harmonic extraction —
+into single array operations (the production default).  An FMCW
+sounder demonstrates the waveform-agnostic claim of section 3.3, and
+the front-end model enforces the USRP's dynamic-range limit that
+drives the tissue experiment's metal-plate isolation (section 5.2).
 """
 
 from repro.reader.waveform import OFDMSounderConfig, generate_preamble
 from repro.reader.ofdm import OFDMModem
 from repro.reader.sounder import (ChannelEstimateStream, FrameLevelSounder,
                                   concatenate_streams)
+from repro.reader.batch import FastSounder, SOUNDER_KINDS, resolve_sounder
 from repro.reader.fmcw import FMCWSounderConfig, FMCWSounder
 from repro.reader.frontend import SDRFrontEnd, USRP_N210
 from repro.reader.sync import FrameSynchronizer, SyncResult, apply_cfo, correct_cfo
@@ -26,6 +29,9 @@ __all__ = [
     "OFDMModem",
     "ChannelEstimateStream",
     "FrameLevelSounder",
+    "FastSounder",
+    "SOUNDER_KINDS",
+    "resolve_sounder",
     "FMCWSounderConfig",
     "FMCWSounder",
     "SDRFrontEnd",

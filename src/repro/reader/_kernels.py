@@ -1,0 +1,74 @@
+"""Optional compiled kernels for the batched sounder hot loop.
+
+The batched fast path (:mod:`repro.reader.batch`) is pure numpy; the
+one loop that resists full vectorization is the per-frame harmonic
+coefficient accumulation — a scatter-add of complex weights into
+``(group, switch-state)`` bins.  Numpy covers it with two
+:func:`numpy.bincount` calls (real and imaginary parts); when numba is
+importable the same accumulation runs as a single fused jit loop.
+
+The numba path is strictly optional and strictly behind the numpy
+fallback:
+
+* ``REPRO_NUMBA=0`` disables it outright (the kill switch — use it
+  when bit-reproducible replay across machines matters more than
+  speed, since jitted floating-point reductions may round differently
+  from the numpy reference).
+* An absent or broken numba import silently selects the numpy path;
+  nothing in the repo depends on numba being installed.
+
+:data:`HAVE_NUMBA` reports which implementation is live so tests and
+run manifests can record it.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+#: Whether the jitted kernels are active for this process.
+HAVE_NUMBA = False
+
+_numba = None
+if os.environ.get("REPRO_NUMBA", "1") != "0":
+    try:  # pragma: no cover - exercised only where numba is installed
+        import numba as _numba
+
+        HAVE_NUMBA = True
+    except Exception:  # pragma: no cover - import guard
+        _numba = None
+        HAVE_NUMBA = False
+
+
+def _accumulate_numpy(bins: np.ndarray, weights: np.ndarray,
+                      n_bins: int) -> np.ndarray:
+    """Sum complex ``weights`` into ``n_bins`` bins (numpy reference)."""
+    real = np.bincount(bins, weights=weights.real, minlength=n_bins)
+    imag = np.bincount(bins, weights=weights.imag, minlength=n_bins)
+    return real + 1j * imag
+
+
+if HAVE_NUMBA:  # pragma: no cover - exercised only where numba is installed
+
+    @_numba.njit(cache=True)
+    def _accumulate_jit(bins, weights, n_bins):  # type: ignore[no-redef]
+        out = np.zeros(n_bins, dtype=np.complex128)
+        for n in range(bins.size):
+            out[bins[n]] += weights[n]
+        return out
+
+    def accumulate_harmonics(bins: np.ndarray, weights: np.ndarray,
+                             n_bins: int) -> np.ndarray:
+        """Scatter-add complex weights into bins (jitted)."""
+        return _accumulate_jit(np.ascontiguousarray(bins, dtype=np.int64),
+                               np.ascontiguousarray(weights,
+                                                    dtype=np.complex128),
+                               n_bins)
+
+else:
+
+    def accumulate_harmonics(bins: np.ndarray, weights: np.ndarray,
+                             n_bins: int) -> np.ndarray:
+        """Scatter-add complex weights into bins (numpy fallback)."""
+        return _accumulate_numpy(bins, weights, n_bins)

@@ -125,13 +125,16 @@ class FMCWSounder:
             raise ConfigurationError(f"sweeps must be >= 1, got {sweeps}")
         sweep_starts = start_time + np.arange(sweeps) * self.config.sweep_period
         step_offsets = (np.arange(self.config.steps) + 0.5) * self.config.step_dwell
-        estimates = np.empty((sweeps, self.config.steps), dtype=complex)
-        for index, sweep_start in enumerate(sweep_starts):
-            sample_times = sweep_start + step_offsets
-            gamma = self.tag.reflection_series(self._frequencies,
-                                               sample_times, state)
-            # Step k is only observed at its own time: take the diagonal.
-            estimates[index] = self._static + self._tag_gain * np.diagonal(gamma)
+        # Step k of sweep s is only observed at its own dwell time:
+        # gather Gamma(t_{s,k}, f_k) directly from the tag's 4-state
+        # table instead of synthesising a full (K, K) reflection block
+        # per sweep and keeping its diagonal.
+        sample_times = sweep_starts[:, None] + step_offsets[None, :]
+        lookup = self.tag.state_table(self._frequencies, state)
+        switch_index = self.tag.state_indices(sample_times.ravel()).reshape(
+            sweeps, self.config.steps)
+        gamma = lookup[switch_index, np.arange(self.config.steps)[None, :]]
+        estimates = self._static[None, :] + self._tag_gain[None, :] * gamma
         noise_std = self.estimate_noise_std()
         if noise_std > 0.0:
             estimates = estimates + awgn(estimates.shape, noise_std ** 2,

@@ -281,7 +281,8 @@ class FrameLevelSounder:
             amplitude = snr_fault.magnitude * float(
                 np.mean(np.abs(self._static)))
             phase = erng.uniform(0.0, 2.0 * np.pi, frames)
-            estimates = np.array(estimates)
+            if not estimates.flags.writeable:
+                estimates = estimates.copy()
             estimates[:, tone] += amplitude * np.exp(1j * phase)
         return ChannelEstimateStream(
             estimates=estimates,

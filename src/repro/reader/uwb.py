@@ -133,8 +133,10 @@ class UWBSounder:
             )
         times = start_time + np.arange(estimates) * self.config.estimate_period
         midpoints = times + 0.5 * self.config.estimate_period
-        gamma = self.tag.reflection_series(self._frequencies, midpoints,
-                                           state)
+        # One gather from the tag's 4-state table covers the whole
+        # pulse train (all bins sample the same instant per estimate).
+        lookup = self.tag.state_table(self._frequencies, state)
+        gamma = lookup[self.tag.state_indices(midpoints)]
         values = self._static[None, :] + self._tag_gain[None, :] * gamma
         noise_std = self.estimate_noise_std()
         if noise_std > 0.0:

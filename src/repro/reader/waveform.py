@@ -99,11 +99,22 @@ class OFDMSounderConfig:
         k = np.arange(self.subcarriers) - self.subcarriers // 2
         return self.carrier_frequency + k * self.subcarrier_spacing
 
-    def frame_times(self, frames: int) -> np.ndarray:
-        """Start time [s] of each of ``frames`` consecutive frames."""
+    def frame_times(self, frames: int,
+                    start_time: float = 0.0) -> np.ndarray:
+        """Start time [s] of each of ``frames`` consecutive frames.
+
+        Args:
+            frames: Number of consecutive frames.
+            start_time: Offset of the first frame [s] — lets batched
+                callers place capture windows without re-deriving the
+                grid.
+        """
         if frames < 1:
             raise ConfigurationError(f"frames must be >= 1, got {frames}")
-        return np.arange(frames) * self.frame_period
+        times = np.arange(frames) * self.frame_period
+        if start_time != 0.0:
+            times = start_time + times
+        return times
 
 
 def generate_preamble(config: OFDMSounderConfig,

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -71,6 +71,8 @@ class WiForceTag:
         self._state_cache: OrderedDict[
             Tuple[float, float, bytes],
             Dict[Tuple[bool, bool], np.ndarray]] = OrderedDict()
+        self._table_cache: OrderedDict[
+            Tuple[float, float, bytes], np.ndarray] = OrderedDict()
 
     @property
     def transducer(self) -> ForceTransducer:
@@ -142,6 +144,64 @@ class WiForceTag:
             self._state_cache.popitem(last=False)
         return reflections
 
+    def state_table(self, frequency: np.ndarray,
+                    state: TagState) -> np.ndarray:
+        """The four switch-state reflections as one stacked array.
+
+        Returns shape ``(4, len(frequency))`` in switch-index order
+        ``on1 * 2 + on2`` — row 0 is the resting (off, off) state.
+        This is the gather table the batched sounders index per frame;
+        the stack is memoized alongside :meth:`state_reflections` in
+        its own bounded LRU so the hot loop never re-stacks.  The
+        returned array is shared — treat it as read-only.
+        """
+        frequency = np.asarray(frequency, dtype=float)
+        if state.force < 0.0:
+            raise SensorError(f"force must be non-negative, got {state.force}")
+        key = (state.force, state.location, frequency.tobytes())
+        cached = self._table_cache.get(key)
+        if cached is not None:
+            self._table_cache.move_to_end(key)
+            return cached
+        reflections = self.state_reflections(frequency, state)
+        table = np.stack([
+            reflections[(False, False)],
+            reflections[(False, True)],
+            reflections[(True, False)],
+            reflections[(True, True)],
+        ])
+        self._table_cache[key] = table
+        while len(self._table_cache) > self.STATE_CACHE_LIMIT:
+            self._table_cache.popitem(last=False)
+        return table
+
+    def reflection_table(self, frequency: np.ndarray,
+                         states: Sequence[TagState]) -> np.ndarray:
+        """Batched state evaluation: stacked tables for many states.
+
+        Returns shape ``(len(states), 4, len(frequency))`` — the
+        per-capture gather tables of a batched capture, assembled from
+        the same per-state LRU as the scalar path so repeated states
+        (every baseline capture of a campaign) hit the cache.
+        """
+        frequency = np.asarray(frequency, dtype=float)
+        if not states:
+            raise SensorError("need at least one state")
+        return np.stack([self.state_table(frequency, state)
+                         for state in states])
+
+    def state_indices(self, times: np.ndarray) -> np.ndarray:
+        """Switch-state index ``on1 * 2 + on2`` at each time sample.
+
+        The tag's own crystal sets the pace of the switch windows, so
+        the nominal reader timestamps are rescaled by the clock offset
+        before the clocking scheme is consulted.
+        """
+        times = np.asarray(times, dtype=float)
+        tag_times = times * (1.0 + self.clock_offset_ppm * 1e-6)
+        on1, on2 = self._clocking.states(tag_times)
+        return on1.astype(int) * 2 + on2.astype(int)
+
     def reflection_series(self, frequency: np.ndarray, times: np.ndarray,
                           state: TagState) -> np.ndarray:
         """Gamma(t, f): composite reflection, shape (len(times), len(f)).
@@ -150,21 +210,8 @@ class WiForceTag:
         the clocking scheme decides which state each sample is in.
         """
         frequency = np.asarray(frequency, dtype=float)
-        times = np.asarray(times, dtype=float)
-        if state.force < 0.0:
-            raise SensorError(f"force must be non-negative, got {state.force}")
-        reflections = self.state_reflections(frequency, state)
-        # The tag's own crystal sets the pace of the switch windows.
-        tag_times = times * (1.0 + self.clock_offset_ppm * 1e-6)
-        on1, on2 = self._clocking.states(tag_times)
-        state_index = on1.astype(int) * 2 + on2.astype(int)
-        lookup = np.stack([
-            reflections[(False, False)],
-            reflections[(False, True)],
-            reflections[(True, False)],
-            reflections[(True, True)],
-        ])
-        return lookup[state_index]
+        lookup = self.state_table(frequency, state)
+        return lookup[self.state_indices(times)]
 
     def modulation_spectrum(self, frequency: float, state: TagState,
                             duration: Optional[float] = None,

@@ -66,6 +66,16 @@ class TestExtractMetrics:
         assert compare_bench.extract_metrics(report) == {
             "warm_speedup": 3.8}
 
+    def test_reader_schema(self):
+        report = {"cold_speedup": 24.8, "oracle_frames_per_s": 2.4e5,
+                  "fast_frames_per_s": 5.9e6,
+                  "stream_batch_speedup": 0.96}
+        assert compare_bench.extract_metrics(report) == {
+            "cold_speedup": 24.8}
+        absolute = compare_bench.extract_metrics(report, absolute=True)
+        assert absolute["fast_frames_per_s"] == 5.9e6
+        assert absolute["oracle_frames_per_s"] == 2.4e5
+
     def test_chaos_schema(self):
         report = {"survival": {"survival_rate": 0.98, "crashes": 0},
                   "injected_faults": 20}
@@ -176,7 +186,8 @@ class TestMain:
         """The committed BENCH_*.json files pass against themselves."""
         results = _SCRIPT.parent / "results"
         for name in ("BENCH_estimator.json", "BENCH_serve.json",
-                     "BENCH_cache.json", "BENCH_chaos.json"):
+                     "BENCH_cache.json", "BENCH_chaos.json",
+                     "BENCH_reader.json"):
             path = results / name
             assert compare_bench.main(["--baseline", str(path),
                                        "--fresh", str(path)]) == 0
