@@ -3,7 +3,8 @@
 CI runs this after the bench-smoke suites regenerate the benchmark
 reports, comparing them against the baselines committed in
 ``benchmarks/results/``.  The gate fails (exit code 1) when any
-tracked throughput metric drops by more than ``--max-regression``
+tracked throughput metric drops — or any latency metric in
+``LOWER_IS_BETTER`` rises — by more than ``--max-regression``
 (default 20%).
 
 By default only **machine-normalized ratio metrics** are gated — the
@@ -25,6 +26,12 @@ import json
 import sys
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
+
+#: Metrics gated on *increase* rather than decrease (latencies).
+LOWER_IS_BETTER = frozenset({
+    "gateway_p99_latency_ms",
+    "gateway_p50_latency_ms",
+})
 
 
 def extract_metrics(report: dict, absolute: bool = False
@@ -59,6 +66,25 @@ def extract_metrics(report: dict, absolute: bool = False
     if "survival" in report:
         metrics["chaos_survival_rate"] = float(
             report["survival"]["survival_rate"])
+    # BENCH_gateway.json shape.  The gateway-vs-in-process throughput
+    # ratio and the accept rate are machine-normalized, so they are
+    # always gated; absolute throughput and latency percentiles gate
+    # hardware as much as code and sit behind ``--absolute``.
+    if "gateway_vs_inprocess" in report:
+        metrics["gateway_vs_inprocess"] = float(
+            report["gateway_vs_inprocess"])
+        gateway = report.get("gateway", {})
+        if "rejection_rate" in gateway:
+            metrics["gateway_accept_rate"] = 1.0 - float(
+                gateway["rejection_rate"])
+        if absolute:
+            if "throughput_rps" in gateway:
+                metrics["gateway_throughput_rps"] = float(
+                    gateway["throughput_rps"])
+            for percentile in ("p50", "p99"):
+                key = f"{percentile}_latency_ms"
+                if key in gateway:
+                    metrics[f"gateway_{key}"] = float(gateway[key])
     # BENCH_serve.json shape.
     if "speedup_vs_serial" in report:
         metrics["speedup_vs_serial"] = float(report["speedup_vs_serial"])
@@ -95,13 +121,18 @@ def compare(baseline: dict, fresh: dict, max_regression: float = 0.20,
                          f"(non-positive baseline)")
             continue
         change = fresh_value / base_value - 1.0
-        regressed = change < -max_regression
+        if name in LOWER_IS_BETTER:
+            regressed = change > max_regression
+            direction = "rose"
+        else:
+            regressed = change < -max_regression
+            direction = "regressed"
         verdict = "FAIL" if regressed else "ok"
         lines.append(f"{name:<26}  {base_value:>12.3f}  "
                      f"{fresh_value:>12.3f}  {change:>+7.1%}  {verdict}")
         if regressed:
             failures.append(
-                f"{name} regressed {-change:.1%} "
+                f"{name} {direction} {abs(change):.1%} "
                 f"({base_value:.3f} -> {fresh_value:.3f}), "
                 f"above the {max_regression:.0%} gate")
     return lines, failures

@@ -8,6 +8,8 @@ Commands:
     demo        One-command end-to-end demo (build, calibrate, read).
     report      Run every paper-figure runner, write REPORT.md.
     serve-bench Drive the async inference service with synthetic load.
+    gateway     Serve the inference service over HTTP/WebSocket sockets.
+    gateway-bench  Load-test the gateway through real loopback sockets.
     chaos       Run the serve campaign under an armed fault plan.
     obs-report  Summarize the observability manifest of a bench run.
     cache       Inspect / prune / clear the shared artifact cache.
@@ -171,13 +173,17 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         carrier_frequency=args.carrier,
         fast=not args.full,
         seed=args.seed,
+        arrival=args.arrival,
+        arrival_rate_rps=args.arrival_rate,
+        pareto_alpha=args.pareto_alpha,
     )
     logger.info(
         "driving the inference service with %d requests "
-        "(%d sensors x %d samples, max batch %d, deadline %.1f ms)",
+        "(%d sensors x %d samples, max batch %d, deadline %.1f ms, "
+        "%s arrivals)",
         profile.total_requests, profile.sensors,
         profile.requests_per_sensor, profile.max_batch,
-        profile.max_delay_s * 1e3)
+        profile.max_delay_s * 1e3, profile.arrival)
     profiler = Profiler(enabled=args.profile)
     report = run_benchmark(profile, profiler=profiler)
     print(summarize(report))
@@ -186,6 +192,93 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         print(profiler.report())
     path = write_report(report, args.output)
     print(f"Wrote {path}")
+    return 0
+
+
+def _parse_tenants(specs: List[str]):
+    """``name:token[:rate[:burst]]`` specs -> Tenant list."""
+    from repro.errors import ConfigurationError
+    from repro.gateway import Tenant
+
+    tenants = []
+    for spec in specs:
+        parts = spec.split(":")
+        if len(parts) < 2 or not all(parts[:2]):
+            raise ConfigurationError(
+                f"--tenant needs name:token[:rate[:burst]], got "
+                f"{spec!r}")
+        rate = float(parts[2]) if len(parts) > 2 else 200.0
+        burst = int(parts[3]) if len(parts) > 3 else 50
+        tenants.append(Tenant(name=parts[0], token=parts[1],
+                              rate_per_s=rate, burst=burst))
+    return tenants
+
+
+def _cmd_gateway(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.gateway import Gateway, TenantTable
+    from repro.serve import BatchPolicy, InferenceService
+
+    tenants = _parse_tenants(args.tenant)
+    if not tenants and not args.anonymous:
+        logger.error("no --tenant given; pass --anonymous to serve "
+                     "without auth (loopback demos only)")
+        return 1
+    table = TenantTable(tenants, allow_anonymous=args.anonymous)
+    service = InferenceService(
+        policy=BatchPolicy(max_batch=args.max_batch,
+                           max_delay_s=args.max_delay_ms * 1e-3),
+        max_sessions=args.max_sessions,
+        idle_ttl_s=args.idle_ttl_s)
+    gateway = Gateway(service, tenants=table, host=args.host,
+                      port=args.port)
+
+    async def serve() -> None:
+        host, port = await gateway.start()
+        print(f"gateway listening on http://{host}:{port} "
+              f"(estimate: POST /v1/estimate, stream: GET /v1/stream)")
+        try:
+            await gateway.serve_forever()
+        finally:
+            await gateway.stop()
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:
+        logger.info("gateway stopped")
+    return 0
+
+
+def _cmd_gateway_bench(args: argparse.Namespace) -> int:
+    from repro.gateway import run_gateway_benchmark
+    from repro.gateway import summarize as gateway_summarize
+    from repro.serve import LoadProfile, write_report
+
+    profile = LoadProfile(
+        sensors=args.connections,
+        requests_per_sensor=args.requests,
+        max_batch=args.max_batch,
+        max_delay_s=args.max_delay_ms * 1e-3,
+        carrier_frequency=args.carrier,
+        fast=not args.full,
+        seed=args.seed,
+        arrival=args.arrival,
+        arrival_rate_rps=args.arrival_rate,
+        pareto_alpha=args.pareto_alpha,
+    )
+    logger.info(
+        "load-testing the gateway with %d requests over %d tenant "
+        "connections (%s arrivals)", profile.total_requests,
+        profile.sensors, profile.arrival)
+    report = run_gateway_benchmark(profile)
+    print(gateway_summarize(report))
+    path = write_report(report, args.output)
+    print(f"Wrote {path}")
+    if not report["parity"]["touched_match"] \
+            or report["parity"]["max_force_delta_n"] > 0.0:
+        logger.error("gateway parity check failed")
+        return 1
     return 0
 
 
@@ -208,7 +301,9 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         "running chaos campaign: plan %s (seed %d, %d specs) over %d "
         "requests", plan.name, args.seed, len(plan.specs),
         profile.total_requests)
-    report = chaos.run_chaos(plan=plan, profile=profile, seed=args.seed)
+    report = chaos.run_chaos(
+        plan=plan, profile=profile, seed=args.seed,
+        transport="gateway" if args.gateway else "inprocess")
     print(chaos.summarize(report))
     path = write_report(report, args.output)
     print(f"Wrote {path}")
@@ -332,6 +427,22 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_arrival_arguments(parser: argparse.ArgumentParser) -> None:
+    """The shared open-loop arrival-shaping flags."""
+    parser.add_argument(
+        "--arrival", choices=["uniform", "pareto"], default="uniform",
+        help="arrival pattern when --arrival-rate > 0: evenly spaced "
+             "or heavy-tailed bursts (default uniform)")
+    parser.add_argument(
+        "--arrival-rate", type=float, default=0.0,
+        help="mean aggregate arrival rate [req/s]; 0 (default) "
+             "submits the whole load at once")
+    parser.add_argument(
+        "--pareto-alpha", type=float, default=1.5,
+        help="Pareto tail exponent for --arrival pareto (> 1; "
+             "smaller = burstier; default 1.5)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The repro CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -404,6 +515,55 @@ def build_parser() -> argparse.ArgumentParser:
     serve_bench.add_argument(
         "--profile", action="store_true",
         help="print a per-stage hotspot profile of the bench run")
+    _add_arrival_arguments(serve_bench)
+
+    gateway = sub.add_parser(
+        "gateway",
+        help="serve the inference service over HTTP/WebSocket")
+    gateway.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default loopback)")
+    gateway.add_argument("--port", type=int, default=8790,
+                         help="bind port (default 8790; 0 = ephemeral)")
+    gateway.add_argument(
+        "--tenant", action="append", default=[],
+        metavar="NAME:TOKEN[:RATE[:BURST]]",
+        help="register a tenant credential (repeatable)")
+    gateway.add_argument(
+        "--anonymous", action="store_true",
+        help="allow unauthenticated requests (loopback demos only)")
+    gateway.add_argument("--max-batch", type=int, default=32,
+                         help="micro-batch flush size (default 32)")
+    gateway.add_argument("--max-delay-ms", type=float, default=2.0,
+                         help="micro-batch flush deadline [ms]")
+    gateway.add_argument(
+        "--max-sessions", type=int, default=1024,
+        help="LRU session cap for connect/disconnect churn "
+             "(default 1024)")
+    gateway.add_argument(
+        "--idle-ttl-s", type=float, default=900.0,
+        help="evict sensor sessions idle longer than this [s]")
+
+    gateway_bench = sub.add_parser(
+        "gateway-bench",
+        help="load-test the gateway through real loopback sockets")
+    gateway_bench.add_argument(
+        "--connections", type=int, default=8,
+        help="concurrent tenant connections (default 8)")
+    gateway_bench.add_argument("--requests", type=int, default=64,
+                               help="samples per connection (default 64)")
+    gateway_bench.add_argument("--max-batch", type=int, default=32,
+                               help="micro-batch flush size (default 32)")
+    gateway_bench.add_argument("--max-delay-ms", type=float, default=2.0,
+                               help="micro-batch flush deadline [ms]")
+    gateway_bench.add_argument("--carrier", type=float, default=900e6)
+    gateway_bench.add_argument("--seed", type=int, default=7)
+    gateway_bench.add_argument(
+        "--full", action="store_true",
+        help="full-resolution calibration (slower)")
+    gateway_bench.add_argument(
+        "--output", default="benchmarks/results/BENCH_gateway.json",
+        help="JSON report path")
+    _add_arrival_arguments(gateway_bench)
 
     chaos = sub.add_parser(
         "chaos",
@@ -421,6 +581,10 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--carrier", type=float, default=900e6)
     chaos.add_argument("--full", action="store_true",
                        help="full-resolution calibration (slower)")
+    chaos.add_argument(
+        "--gateway", action="store_true",
+        help="route the campaign through a real loopback gateway "
+             "socket instead of calling the service in-process")
     chaos.add_argument(
         "--output", default="benchmarks/results/BENCH_chaos.json",
         help="JSON survival report path")
@@ -465,6 +629,8 @@ _COMMANDS = {
     "demo": _cmd_demo,
     "report": _cmd_report,
     "serve-bench": _cmd_serve_bench,
+    "gateway": _cmd_gateway,
+    "gateway-bench": _cmd_gateway_bench,
     "chaos": _cmd_chaos,
     "obs-report": _cmd_obs_report,
     "cache": _cmd_cache,

@@ -25,7 +25,7 @@ import asyncio
 import time
 from typing import List, Optional, Union
 
-from repro.errors import QueueFullError
+from repro.errors import QueueFullError, ServeError
 from repro.faults.inject import inject
 from repro.faults.plan import FaultPlan, FaultSpec
 from repro.faults.retry import RetryPolicy
@@ -69,6 +69,80 @@ def default_plan(seed: int = 0) -> FaultPlan:
 def default_profile() -> LoadProfile:
     """The default chaos load: small enough for CI, big enough to fault."""
     return LoadProfile(sensors=4, requests_per_sensor=48)
+
+
+async def _drive_gateway(
+    service: InferenceService, requests: List[EstimateRequest],
+) -> List[Union[EstimateResponse, BaseException]]:
+    """Fire every request through a real gateway socket.
+
+    Boots a :class:`repro.gateway.Gateway` around the service on an
+    ephemeral loopback port, opens one WebSocket connection per sensor
+    stream, and maps the wire outcomes back into the survival
+    taxonomy: ``"estimate"`` replies decode to
+    :class:`EstimateResponse`, ``"backpressure"`` / ``"quota"`` error
+    envelopes count as shed (:class:`QueueFullError`), and anything
+    else — including a dropped connection — counts as a crash.
+    """
+    from repro.errors import GatewayError
+    from repro.gateway import Gateway, WebSocketClient
+
+    def to_outcome(kind: str, message: dict
+                   ) -> Union[EstimateResponse, BaseException]:
+        if kind == "estimate":
+            return EstimateResponse.from_dict(message["response"])
+        code = message.get("code", "")
+        text = message.get("error", "gateway error")
+        if code in ("backpressure", "quota"):
+            return QueueFullError(text)
+        return GatewayError(f"{code}: {text}")
+
+    async def one_connection(
+        host: str, port: int, stream: List[EstimateRequest],
+    ) -> List[Union[EstimateResponse, BaseException]]:
+        client = await WebSocketClient.connect(host, port)
+        outcomes: dict = {}
+        try:
+            for request in stream:
+                await client.send_json({"type": "estimate",
+                                        "request": request.to_dict()})
+            answered = 0
+            while answered < len(stream):
+                message = await client.recv_json()
+                kind = message.get("type", "")
+                if kind == "touch_event":
+                    continue
+                if kind == "estimate":
+                    sequence = message["response"]["sequence"]
+                else:
+                    sequence = message.get("sequence", -1)
+                outcomes[sequence] = to_outcome(kind, message)
+                answered += 1
+        except Exception as exc:  # noqa: BLE001 - survival accounting
+            for request in stream:
+                outcomes.setdefault(request.sequence, exc)
+        finally:
+            await client.close()
+        return [outcomes.get(request.sequence,
+                             GatewayError("no reply"))
+                for request in stream]
+
+    by_sensor: dict = {}
+    for request in requests:
+        by_sensor.setdefault(request.sensor_id, []).append(request)
+    async with Gateway(service) as gateway:
+        host, port = gateway.address
+        per_stream = await asyncio.gather(*(
+            one_connection(host, port, stream)
+            for stream in by_sensor.values()))
+    position = {sensor_id: 0 for sensor_id in by_sensor}
+    streams = dict(zip(by_sensor, per_stream))
+    flattened = []
+    for request in requests:
+        index = position[request.sensor_id]
+        position[request.sensor_id] = index + 1
+        flattened.append(streams[request.sensor_id][index])
+    return flattened
 
 
 async def _drive(service: InferenceService,
@@ -124,7 +198,8 @@ def run_chaos(plan: Optional[FaultPlan] = None,
               profile: Optional[LoadProfile] = None,
               seed: Optional[int] = None,
               model_factory: Optional[ModelFactory] = None,
-              retry_policy: Optional[RetryPolicy] = None) -> dict:
+              retry_policy: Optional[RetryPolicy] = None,
+              transport: str = "inprocess") -> dict:
     """Run the serve campaign under ``plan``; returns the report.
 
     Args:
@@ -134,11 +209,23 @@ def run_chaos(plan: Optional[FaultPlan] = None,
             committed plan file replays under many seeds.
         model_factory: Config -> model override for the session cache.
         retry_policy: Service-side backpressure retry budget.
+        transport: ``"inprocess"`` calls the service directly (the
+            default); ``"gateway"`` routes every request through a
+            real loopback :class:`repro.gateway.Gateway` socket, so
+            injected faults must also survive the network framing
+            layer.
 
     The report's ``events`` and ``survival`` blocks are deterministic
-    for fixed arguments; ``timing`` and the instrument snapshot in the
-    manifest are not.
+    for fixed arguments on the in-process transport; ``timing`` and
+    the instrument snapshot in the manifest are not.  The gateway
+    transport keeps the survival accounting (and the zero-crash bar)
+    but not event-order determinism — cross-connection arrival order
+    over real sockets is scheduler noise.
     """
+    if transport not in ("inprocess", "gateway"):
+        raise ServeError(
+            f"transport must be 'inprocess' or 'gateway', got "
+            f"{transport!r}")
     if plan is None:
         plan = default_plan(seed if seed is not None else 0)
     elif seed is not None and seed != plan.seed:
@@ -160,15 +247,20 @@ def run_chaos(plan: Optional[FaultPlan] = None,
         requests = generate_requests(estimator.model, profile)
         with inject(plan) as injector:
             start = time.perf_counter()
-            outcomes = asyncio.run(_drive(service, requests))
+            if transport == "gateway":
+                outcomes = asyncio.run(_drive_gateway(service, requests))
+            else:
+                outcomes = asyncio.run(_drive(service, requests))
             wall = time.perf_counter() - start
             events = injector.event_dicts()
     survival = _survival(outcomes)
     config = {"plan": plan.to_dict(), "seed": plan.seed,
               "sensors": profile.sensors,
-              "requests_per_sensor": profile.requests_per_sensor}
+              "requests_per_sensor": profile.requests_per_sensor,
+              "transport": transport}
     report = {
         "plan": plan.to_dict(),
+        "transport": transport,
         "profile": {
             "sensors": profile.sensors,
             "requests_per_sensor": profile.requests_per_sensor,
@@ -196,7 +288,8 @@ def summarize(report: dict) -> str:
     lines = [
         f"plan              : {report['plan']['name']} "
         f"(seed {report['plan']['seed']}, "
-        f"{len(report['plan']['specs'])} specs)",
+        f"{len(report['plan']['specs'])} specs, "
+        f"{report.get('transport', 'inprocess')} transport)",
         f"requests          : {survival['total_requests']} "
         f"({report['profile']['sensors']} sensors x "
         f"{report['profile']['requests_per_sensor']} samples)",

@@ -51,6 +51,17 @@ class LoadProfile:
         carrier_frequency / fast / touch_threshold_deg: Sensor config
             shared by the whole fleet.
         seed: Reproducibility seed for the synthetic presses.
+        arrival: Arrival-pattern shape for request submission:
+            ``"uniform"`` spaces requests evenly at
+            ``arrival_rate_rps``; ``"pareto"`` draws heavy-tailed
+            (bursty) inter-arrival gaps with the same mean rate — the
+            fleet-scale pattern real sensor swarms produce, where long
+            quiet stretches alternate with packed bursts.
+        arrival_rate_rps: Mean aggregate arrival rate [req/s]; 0 (the
+            default) submits every request at once, the pre-existing
+            closed-loop behavior.
+        pareto_alpha: Tail exponent for ``"pareto"`` arrivals (must
+            be > 1 so the mean gap is finite; smaller = burstier).
     """
 
     sensors: int = 8
@@ -65,6 +76,9 @@ class LoadProfile:
     fast: bool = True
     touch_threshold_deg: float = 5.0
     seed: int = 7
+    arrival: str = "uniform"
+    arrival_rate_rps: float = 0.0
+    pareto_alpha: float = 1.5
 
     def __post_init__(self) -> None:
         if self.sensors < 1 or self.requests_per_sensor < 1:
@@ -74,6 +88,18 @@ class LoadProfile:
             raise ServeError(
                 f"touch_fraction must be in [0, 1], got "
                 f"{self.touch_fraction}")
+        if self.arrival not in ("uniform", "pareto"):
+            raise ServeError(
+                f"arrival must be 'uniform' or 'pareto', got "
+                f"{self.arrival!r}")
+        if self.arrival_rate_rps < 0.0:
+            raise ServeError(
+                f"arrival_rate_rps must be >= 0, got "
+                f"{self.arrival_rate_rps}")
+        if self.pareto_alpha <= 1.0:
+            raise ServeError(
+                f"pareto_alpha must be > 1 (finite mean gap), got "
+                f"{self.pareto_alpha}")
 
     @property
     def total_requests(self) -> int:
@@ -129,12 +155,62 @@ def generate_requests(model: SensorModel,
     return requests
 
 
+def generate_arrival_offsets(
+        profile: LoadProfile) -> Optional[np.ndarray]:
+    """Per-request submission offsets [s] for the arrival pattern.
+
+    Returns None when ``arrival_rate_rps`` is 0 (submit everything at
+    once).  Offsets start at 0 and are seeded independently of the
+    press draws, so changing the arrival shape never changes *what*
+    is requested, only *when*.
+
+    ``"uniform"`` arrivals are evenly spaced at the mean gap;
+    ``"pareto"`` gaps follow a Pareto distribution with minimum gap
+    ``mean_gap * (alpha - 1) / alpha`` and tail exponent ``alpha``,
+    scaled so the mean gap (and therefore the aggregate offered rate)
+    matches the uniform pattern — only the burstiness differs.
+    """
+    if profile.arrival_rate_rps <= 0.0:
+        return None
+    total = profile.total_requests
+    mean_gap = 1.0 / profile.arrival_rate_rps
+    if profile.arrival == "uniform":
+        gaps = np.full(total, mean_gap)
+    else:
+        rng = np.random.default_rng(profile.seed + 0x9E3779B9)
+        alpha = profile.pareto_alpha
+        # rng.pareto draws the Lomax form; +1 shifts to a classic
+        # Pareto with minimum 1 and mean alpha / (alpha - 1).
+        draws = rng.pareto(alpha, total) + 1.0
+        gaps = draws * (mean_gap * (alpha - 1.0) / alpha)
+    offsets = np.cumsum(gaps)
+    return offsets - offsets[0]
+
+
 async def run_service_load(
     service: InferenceService, requests: List[EstimateRequest],
+    offsets: Optional[np.ndarray] = None,
 ) -> Tuple[List[EstimateResponse], float]:
-    """Fire every request concurrently; returns (responses, wall s)."""
+    """Fire every request; returns (responses, wall s).
+
+    Without ``offsets`` every request is submitted concurrently (the
+    closed-loop saturation pattern); with them, request *i* is held
+    back ``offsets[i]`` seconds first (open-loop arrival shaping —
+    see :func:`generate_arrival_offsets`).
+    """
     start = time.perf_counter()
-    responses = await service.estimate_many(requests)
+    if offsets is None:
+        responses = await service.estimate_many(requests)
+    else:
+        async def paced(request: EstimateRequest,
+                        delay: float) -> EstimateResponse:
+            if delay > 0.0:
+                await asyncio.sleep(delay)
+            return await service.estimate(request)
+
+        responses = list(await asyncio.gather(
+            *(paced(request, float(delay))
+              for request, delay in zip(requests, offsets))))
     return responses, time.perf_counter() - start
 
 
@@ -175,6 +251,7 @@ def run_benchmark(profile: Optional[LoadProfile] = None,
             estimator = service.sessions.estimator(profile.config)
         with profiler.section("generate_requests"):
             requests = generate_requests(estimator.model, profile)
+            offsets = generate_arrival_offsets(profile)
 
         # Serial baseline: one scalar inversion at a time, the
         # pre-serve consumption pattern.
@@ -186,7 +263,7 @@ def run_benchmark(profile: Optional[LoadProfile] = None,
 
         with profiler.section("service_load"):
             responses, service_seconds = asyncio.run(
-                run_service_load(service, requests))
+                run_service_load(service, requests, offsets))
 
     force_delta = max(abs(response.estimate.force - expected.force)
                       for response, expected in zip(responses, serial))
@@ -207,6 +284,9 @@ def run_benchmark(profile: Optional[LoadProfile] = None,
         "batching": profile.batching,
         "seed": profile.seed,
         "carrier_frequency": profile.carrier_frequency,
+        "arrival": profile.arrival,
+        "arrival_rate_rps": profile.arrival_rate_rps,
+        "pareto_alpha": profile.pareto_alpha,
     }
     report = {
         "profile": profile_block,

@@ -56,6 +56,10 @@ class InferenceService:
             (a momentarily full queue, an injected rejection) is
             retried with seeded exponential backoff before the error
             reaches the caller.  ``attempts=1`` disables retrying.
+        max_sessions / idle_ttl_s: Session-eviction bounds forwarded
+            to the :class:`SessionManager` (both off by default; the
+            network gateway turns them on so connect/disconnect churn
+            cannot grow memory without bound).
     """
 
     def __init__(self, policy: Optional[BatchPolicy] = None,
@@ -64,12 +68,16 @@ class InferenceService:
                  sink: Optional[TelemetrySink] = None,
                  history: bool = True,
                  registry: Optional[Registry] = None,
-                 retry_policy: Optional[RetryPolicy] = None):
+                 retry_policy: Optional[RetryPolicy] = None,
+                 max_sessions: Optional[int] = None,
+                 idle_ttl_s: Optional[float] = None):
         self.telemetry = registry if registry is not None \
             else Registry(sink)
         self.sessions = SessionManager(model_factory,
                                        baseline_samples=baseline_samples,
-                                       history=history)
+                                       history=history,
+                                       max_sessions=max_sessions,
+                                       idle_ttl_s=idle_ttl_s)
         self.scheduler = MicroBatchScheduler(policy,
                                              telemetry=self.telemetry)
         self.retry_policy = (retry_policy if retry_policy is not None
@@ -160,5 +168,6 @@ class InferenceService:
             "count": len(self.sessions),
             "model_builds": self.sessions.model_builds,
             "model_hits": self.sessions.model_hits,
+            "evictions": self.sessions.evictions,
         }
         return snapshot

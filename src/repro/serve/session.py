@@ -19,6 +19,7 @@ stream between requests:
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
@@ -86,6 +87,7 @@ class SensorSession:
         self.keep_history = bool(history)
         self.quarantine_after = int(quarantine_after)
         self.samples: List[TrackedSample] = []
+        self.last_seen = 0.0
         self.request_count = 0
         self.consecutive_faults = 0
         self.quarantines = 0
@@ -197,24 +199,50 @@ class SensorSession:
 class SessionManager:
     """Routes sensor ids to sessions; caches models per config.
 
+    Sessions are kept in least-recently-used order and evicted on two
+    bounds, so fleet-scale connect/disconnect churn cannot grow memory
+    without limit: ``max_sessions`` caps the live-session count (the
+    LRU session is dropped to admit a new one) and ``idle_ttl_s``
+    drops any session that has not served a request for that long.
+    Both default to *off*, preserving the unbounded in-process
+    behavior; the network gateway turns them on.  Evicting a session
+    discards its baseline/history state only — the calibrated model
+    stays cached per config, so a returning sensor re-opens cheaply.
+
     Args:
         model_factory: ``SensorConfig -> SensorModel``; defaults to
             calibrating the paper's default sensor.
         baseline_samples: Warmup window for new sessions.
         history: Whether sessions keep their tracked history.
+        max_sessions: Live-session cap (None = unbounded).
+        idle_ttl_s: Idle eviction age [s] (None = never).
+        clock: Monotonic time source (injected by tests).
     """
 
     def __init__(self, model_factory: Optional[ModelFactory] = None,
-                 baseline_samples: int = 0, history: bool = True):
+                 baseline_samples: int = 0, history: bool = True,
+                 max_sessions: Optional[int] = None,
+                 idle_ttl_s: Optional[float] = None,
+                 clock: Optional[Callable[[], float]] = None):
+        if max_sessions is not None and max_sessions < 1:
+            raise ServeError(
+                f"max_sessions must be >= 1, got {max_sessions}")
+        if idle_ttl_s is not None and idle_ttl_s <= 0.0:
+            raise ServeError(
+                f"idle_ttl_s must be > 0, got {idle_ttl_s}")
         self._factory = (model_factory if model_factory is not None
                          else default_model_factory)
         self.baseline_samples = int(baseline_samples)
         self.history = bool(history)
+        self.max_sessions = max_sessions
+        self.idle_ttl_s = idle_ttl_s
+        self._clock = clock if clock is not None else time.monotonic
         self._models: Dict[Tuple[float, bool], SensorModel] = {}
         self._estimators: Dict[SensorConfig, ForceLocationEstimator] = {}
         self._sessions: Dict[str, SensorSession] = {}
         self.model_builds = 0
         self.model_hits = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._sessions)
@@ -251,15 +279,39 @@ class SessionManager:
         self._estimators[config] = estimator
         return estimator
 
+    def _evict_one(self) -> None:
+        """Drop the least-recently-used session."""
+        sensor_id = next(iter(self._sessions))
+        self._sessions.pop(sensor_id)
+        self.evictions += 1
+        obs = active()
+        if obs is not None:
+            obs.counter("serve.session.evictions").increment()
+
+    def _evict_idle(self, now: float) -> None:
+        """Drop sessions idle beyond the TTL (LRU-first scan)."""
+        if self.idle_ttl_s is None:
+            return
+        while self._sessions:
+            oldest = next(iter(self._sessions.values()))
+            if now - oldest.last_seen <= self.idle_ttl_s:
+                break
+            self._evict_one()
+
     def session(self, sensor_id: str,
                 config: Optional[SensorConfig] = None) -> SensorSession:
         """Get or create the session for ``sensor_id``.
+
+        Accessing a session marks it most-recently-used; the access
+        also sweeps idle sessions and, when creating a new session
+        against a full manager, evicts the LRU one.
 
         Raises:
             ServeError: An existing session was opened with a
                 different config (a sensor cannot switch calibrations
                 mid-stream).
         """
+        now = self._clock()
         session = self._sessions.get(sensor_id)
         if session is not None:
             if config is not None and config != session.config:
@@ -267,13 +319,22 @@ class SessionManager:
                     f"sensor {sensor_id!r} is bound to config "
                     f"{session.config}, got {config}"
                 )
+            # Move to the most-recently-used end of the LRU order.
+            self._sessions[sensor_id] = self._sessions.pop(sensor_id)
+            session.last_seen = now
+            self._evict_idle(now)
             return session
         if config is None:
             config = SensorConfig()
+        self._evict_idle(now)
+        if self.max_sessions is not None:
+            while len(self._sessions) >= self.max_sessions:
+                self._evict_one()
         session = SensorSession(
             sensor_id, config, self.estimator(config),
             baseline_samples=self.baseline_samples,
             history=self.history)
+        session.last_seen = now
         self._sessions[sensor_id] = session
         return session
 

@@ -76,6 +76,52 @@ class TestExtractMetrics:
         assert absolute["fast_frames_per_s"] == 5.9e6
         assert absolute["oracle_frames_per_s"] == 2.4e5
 
+    def test_gateway_schema(self):
+        report = {
+            "gateway_vs_inprocess": 0.62,
+            "gateway": {"rejection_rate": 0.25,
+                        "throughput_rps": 4200.0,
+                        "p50_latency_ms": 105.0,
+                        "p99_latency_ms": 115.0},
+        }
+        assert compare_bench.extract_metrics(report) == {
+            "gateway_vs_inprocess": 0.62,
+            "gateway_accept_rate": 0.75}
+        absolute = compare_bench.extract_metrics(report, absolute=True)
+        assert absolute["gateway_throughput_rps"] == 4200.0
+        assert absolute["gateway_p50_latency_ms"] == 105.0
+        assert absolute["gateway_p99_latency_ms"] == 115.0
+
+    def test_gateway_latency_rise_fails_only_with_absolute(self):
+        baseline = {
+            "gateway_vs_inprocess": 0.6,
+            "gateway": {"rejection_rate": 0.0,
+                        "p99_latency_ms": 100.0},
+        }
+        fresh = {
+            "gateway_vs_inprocess": 0.6,
+            "gateway": {"rejection_rate": 0.0,
+                        "p99_latency_ms": 150.0},  # +50% latency
+        }
+        _, failures = compare_bench.compare(baseline, fresh)
+        assert failures == []
+        _, failures = compare_bench.compare(baseline, fresh,
+                                            absolute=True)
+        assert len(failures) == 1
+        assert "gateway_p99_latency_ms" in failures[0]
+        assert "rose" in failures[0]
+
+    def test_gateway_latency_drop_passes(self):
+        baseline = {"gateway_vs_inprocess": 0.6,
+                    "gateway": {"rejection_rate": 0.0,
+                                "p99_latency_ms": 100.0}}
+        fresh = {"gateway_vs_inprocess": 0.6,
+                 "gateway": {"rejection_rate": 0.0,
+                             "p99_latency_ms": 40.0}}
+        _, failures = compare_bench.compare(baseline, fresh,
+                                            absolute=True)
+        assert failures == []
+
     def test_chaos_schema(self):
         report = {"survival": {"survival_rate": 0.98, "crashes": 0},
                   "injected_faults": 20}
@@ -187,7 +233,7 @@ class TestMain:
         results = _SCRIPT.parent / "results"
         for name in ("BENCH_estimator.json", "BENCH_serve.json",
                      "BENCH_cache.json", "BENCH_chaos.json",
-                     "BENCH_reader.json"):
+                     "BENCH_reader.json", "BENCH_gateway.json"):
             path = results / name
             assert compare_bench.main(["--baseline", str(path),
                                        "--fresh", str(path)]) == 0

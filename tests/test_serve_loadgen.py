@@ -1,0 +1,107 @@
+"""Load-generation shapes: arrival patterns and pacing.
+
+The heavy-tailed arrival option must change *when* requests are
+submitted, never *what* is requested — the request list is seeded
+independently of the gap draws — and the Pareto gaps must keep the
+configured mean rate while being visibly burstier than uniform.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.errors import ServeError
+from repro.serve import (
+    EstimateRequest,
+    InferenceService,
+    LoadProfile,
+    SensorConfig,
+    generate_requests,
+    run_service_load,
+)
+from repro.serve.loadgen import generate_arrival_offsets
+
+
+class TestArrivalOffsets:
+    def test_closed_loop_default_has_no_offsets(self):
+        assert generate_arrival_offsets(LoadProfile()) is None
+
+    def test_uniform_offsets_are_evenly_spaced(self):
+        profile = LoadProfile(sensors=2, requests_per_sensor=8,
+                              arrival_rate_rps=100.0)
+        offsets = generate_arrival_offsets(profile)
+        assert offsets is not None
+        assert offsets[0] == 0.0
+        gaps = np.diff(offsets)
+        assert np.allclose(gaps, 0.01)
+
+    def test_pareto_offsets_keep_the_mean_rate(self):
+        profile = LoadProfile(sensors=25, requests_per_sensor=400,
+                              arrival="pareto",
+                              arrival_rate_rps=1000.0,
+                              pareto_alpha=2.5)
+        offsets = generate_arrival_offsets(profile)
+        gaps = np.diff(offsets)
+        # Mean gap within 10% of 1/rate for a 10k-draw sample.
+        assert np.mean(gaps) == pytest.approx(1e-3, rel=0.1)
+        # Minimum possible gap is mean * (alpha-1)/alpha.
+        assert gaps.min() >= 1e-3 * (2.5 - 1.0) / 2.5 - 1e-12
+
+    def test_pareto_is_burstier_than_uniform(self):
+        kwargs = dict(sensors=25, requests_per_sensor=400,
+                      arrival_rate_rps=1000.0)
+        uniform = np.diff(generate_arrival_offsets(
+            LoadProfile(arrival="uniform", **kwargs)))
+        pareto = np.diff(generate_arrival_offsets(
+            LoadProfile(arrival="pareto", **kwargs)))
+        assert np.std(pareto) > 10 * np.std(uniform)
+        # Heavy tail: the largest gap dwarfs the mean.
+        assert pareto.max() > 5 * np.mean(pareto)
+
+    def test_offsets_are_deterministic_per_seed(self):
+        profile = LoadProfile(arrival="pareto", arrival_rate_rps=50.0,
+                              seed=3)
+        first = generate_arrival_offsets(profile)
+        second = generate_arrival_offsets(profile)
+        np.testing.assert_array_equal(first, second)
+        reseeded = generate_arrival_offsets(
+            LoadProfile(arrival="pareto", arrival_rate_rps=50.0,
+                        seed=4))
+        assert not np.array_equal(first, reseeded)
+
+    def test_arrival_shape_never_changes_the_requests(self, model_900):
+        burst = LoadProfile(sensors=2, requests_per_sensor=4,
+                            arrival="pareto", arrival_rate_rps=10.0)
+        closed = LoadProfile(sensors=2, requests_per_sensor=4)
+        assert generate_requests(model_900, burst) \
+            == generate_requests(model_900, closed)
+
+    def test_validation(self):
+        with pytest.raises(ServeError):
+            LoadProfile(arrival="poisson")
+        with pytest.raises(ServeError):
+            LoadProfile(arrival_rate_rps=-1.0)
+        with pytest.raises(ServeError):
+            LoadProfile(arrival="pareto", pareto_alpha=1.0)
+
+
+class TestPacedServiceLoad:
+    def test_paced_submission_serves_everything(self, model_900):
+        service = InferenceService(
+            model_factory=lambda config: model_900)
+        config = SensorConfig()
+        requests = [
+            EstimateRequest(sensor_id="s", sequence=index,
+                            time=0.01 * index, phi1=0.2, phi2=0.1,
+                            config=config)
+            for index in range(6)
+        ]
+        offsets = np.linspace(0.0, 5e-3, len(requests))
+        responses, wall = asyncio.run(
+            run_service_load(service, requests, offsets))
+        assert [r.sequence for r in responses] == list(range(6))
+        assert all(r.quality == "ok" for r in responses)
+        assert wall >= 5e-3

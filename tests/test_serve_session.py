@@ -138,3 +138,91 @@ class TestHistoryAndEvents:
         session = manager.session("sensor-a", SensorConfig())
         session.record(self._sample(0.0, True, 1.0, 0.02))
         assert session.samples == []
+
+
+class TestEviction:
+    @staticmethod
+    def _manager(model, clock=None, **kwargs):
+        return SessionManager(model_factory=lambda config: model,
+                              clock=clock, **kwargs)
+
+    def test_lru_cap_evicts_least_recently_used(self, model_900):
+        manager = self._manager(model_900, max_sessions=2)
+        manager.session("a", SensorConfig())
+        manager.session("b", SensorConfig())
+        manager.session("a", SensorConfig())  # refresh a -> b is LRU
+        manager.session("c", SensorConfig())
+        assert manager.get("b") is None
+        assert manager.get("a") is not None
+        assert manager.get("c") is not None
+        assert len(manager) == 2
+        assert manager.evictions == 1
+
+    def test_idle_ttl_evicts_stale_sessions(self, model_900):
+        now = [0.0]
+        manager = self._manager(model_900, clock=lambda: now[0],
+                                idle_ttl_s=10.0)
+        manager.session("a", SensorConfig())
+        now[0] = 5.0
+        manager.session("b", SensorConfig())
+        now[0] = 16.0  # a idle 16 s > TTL; b idle 11 s > TTL
+        manager.session("c", SensorConfig())
+        assert manager.get("a") is None
+        assert manager.get("b") is None
+        assert manager.get("c") is not None
+        assert manager.evictions == 2
+
+    def test_access_refreshes_idle_clock(self, model_900):
+        now = [0.0]
+        manager = self._manager(model_900, clock=lambda: now[0],
+                                idle_ttl_s=10.0)
+        manager.session("a", SensorConfig())
+        now[0] = 8.0
+        manager.session("a", SensorConfig())  # touch before the TTL
+        now[0] = 15.0  # only 7 s since the touch
+        manager.session("b", SensorConfig())
+        assert manager.get("a") is not None
+        assert manager.evictions == 0
+
+    def test_eviction_counter_lands_in_registry(self, model_900):
+        from repro.obs.registry import observed
+
+        with observed() as registry:
+            manager = self._manager(model_900, max_sessions=1)
+            manager.session("a", SensorConfig())
+            manager.session("b", SensorConfig())
+        counters = registry.snapshot()["counters"]
+        assert counters["serve.session.evictions"] == 1
+
+    def test_evicted_session_state_is_discarded(self, model_900):
+        manager = self._manager(model_900, max_sessions=1)
+        session = manager.session("a", SensorConfig())
+        session.record(TrackedSample(time=0.0, phi1=0.1, phi2=0.2,
+                                     touched=True, force=1.0,
+                                     location=0.03))
+        manager.session("b", SensorConfig())
+        reopened = manager.session("a", SensorConfig())
+        assert reopened is not session
+        assert reopened.samples == []
+
+    def test_eviction_bounds_are_validated(self, model_900):
+        with pytest.raises(ServeError):
+            self._manager(model_900, max_sessions=0)
+        with pytest.raises(ServeError):
+            self._manager(model_900, idle_ttl_s=0.0)
+
+    def test_service_exposes_eviction_knobs(self, model_900):
+        import asyncio
+
+        from repro.serve import EstimateRequest, InferenceService
+
+        service = InferenceService(
+            model_factory=lambda config: model_900, max_sessions=2)
+        config = SensorConfig()
+        for index, sensor in enumerate("abc"):
+            asyncio.run(service.estimate(EstimateRequest(
+                sensor_id=sensor, sequence=index, time=0.0,
+                phi1=0.1, phi2=0.1, config=config)))
+        snapshot = service.telemetry_snapshot()
+        assert snapshot["sessions"]["count"] == 2
+        assert snapshot["sessions"]["evictions"] == 1
