@@ -151,6 +151,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--absolute", action="store_true",
                         help="also gate raw throughputs, not just "
                              "machine-normalized speedups")
+    parser.add_argument("--slo", action="store_true",
+                        help="also evaluate the declarative serve SLOs "
+                             "against the fresh report")
     args = parser.parse_args(argv)
     if not 0.0 <= args.max_regression < 1.0:
         parser.error("--max-regression must be in [0, 1)")
@@ -163,6 +166,29 @@ def main(argv: Optional[List[str]] = None) -> int:
           f"(max regression {args.max_regression:.0%})")
     for line in lines:
         print(line)
+    if args.slo:
+        try:
+            from repro.obs.slo import (
+                evaluate_report,
+                render_statuses,
+                report_slos,
+            )
+        except ImportError:
+            # Running from a checkout without an installed package.
+            sys.path.insert(
+                0, str(Path(__file__).resolve().parents[1] / "src"))
+            from repro.obs.slo import (
+                evaluate_report,
+                render_statuses,
+                report_slos,
+            )
+
+        statuses = evaluate_report(report_slos(), fresh)
+        print()
+        print(render_statuses(statuses))
+        failures.extend(
+            f"SLO {status['name']} violated" for status in statuses
+            if not status["ok"])
     if failures:
         for failure in failures:
             print(f"REGRESSION: {failure}", file=sys.stderr)

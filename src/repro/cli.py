@@ -12,6 +12,8 @@ Commands:
     gateway-bench  Load-test the gateway through real loopback sockets.
     chaos       Run the serve campaign under an armed fault plan.
     obs-report  Summarize the observability manifest of a bench run.
+    trace       Render a trace waterfall from exported span events.
+    slo         Evaluate the SLOs against a benchmark report.
     cache       Inspect / prune / clear the shared artifact cache.
 
 Primary results go to stdout (machine-consumable); progress and
@@ -388,6 +390,62 @@ def _cmd_obs_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.obs.trace import render_waterfall
+
+    path = Path(args.input)
+    if not path.exists():
+        logger.error("no span-event export at %s — run with REPRO_OBS=1 "
+                     "REPRO_TRACE_EXPORT=%s first", path, path)
+        return 1
+    events = []
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            event = json.loads(line)
+        except ValueError:
+            continue
+        if isinstance(event, dict):
+            events.append(event)
+    rendered = render_waterfall(events, args.trace_id)
+    if not rendered:
+        logger.error("no spans matching trace %r in %s (%d events)",
+                     args.trace_id, path, len(events))
+        return 1
+    print(rendered)
+    return 0
+
+
+def _cmd_slo(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.obs.slo import evaluate_report, render_statuses, report_slos
+
+    path = Path(args.input)
+    if not path.exists():
+        logger.error("no benchmark report at %s — run "
+                     "`python -m repro serve-bench` first", path)
+        return 1
+    report = json.loads(path.read_text())
+    statuses = evaluate_report(report_slos(), report)
+    if args.json:
+        print(json.dumps(statuses, indent=2, sort_keys=True))
+    else:
+        print(render_statuses(statuses))
+    violated = [status for status in statuses if not status["ok"]]
+    if violated:
+        logger.error("%d SLO objective(s) violated: %s", len(violated),
+                     ", ".join(status["name"] for status in violated))
+        return 1
+    return 0
+
+
 def _cache_directory(args: argparse.Namespace):
     from repro.cache import config_from_env
 
@@ -600,6 +658,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--prometheus", action="store_true",
         help="dump the snapshot in Prometheus text format instead")
 
+    trace_cmd = sub.add_parser(
+        "trace",
+        help="inspect exported trace spans (waterfall per trace id)")
+    trace_sub = trace_cmd.add_subparsers(dest="trace_action",
+                                         required=True)
+    trace_show = trace_sub.add_parser(
+        "show", help="render one trace as a span waterfall")
+    trace_show.add_argument(
+        "trace_id", help="32-hex trace id (a unique prefix works)")
+    trace_show.add_argument(
+        "--input", default="trace-events.jsonl",
+        help="span-event JSONL written via REPRO_TRACE_EXPORT "
+             "(default trace-events.jsonl)")
+
+    slo = sub.add_parser(
+        "slo",
+        help="evaluate the serve SLOs against a benchmark report "
+             "(exit 1 on violation)")
+    slo.add_argument(
+        "--input", default="benchmarks/results/BENCH_serve.json",
+        help="stamped benchmark JSON (default BENCH_serve.json)")
+    slo.add_argument(
+        "--json", action="store_true",
+        help="emit the raw status dicts as JSON instead of the table")
+
     cache = sub.add_parser(
         "cache",
         help="inspect or maintain the content-addressed artifact cache")
@@ -633,6 +716,8 @@ _COMMANDS = {
     "gateway-bench": _cmd_gateway_bench,
     "chaos": _cmd_chaos,
     "obs-report": _cmd_obs_report,
+    "trace": _cmd_trace,
+    "slo": _cmd_slo,
     "cache": _cmd_cache,
 }
 

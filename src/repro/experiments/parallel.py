@@ -50,7 +50,10 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import CampaignTrialError, ConfigurationError
 from repro.faults.inject import armed as fault_armed
-from repro.obs.registry import active
+from repro.obs import trace
+from repro.obs.instruments import MemorySink
+from repro.obs.recorder import flight_recorder
+from repro.obs.registry import active, is_enabled, maybe_span, observed
 
 #: Environment variable consulted when ``workers`` is not given.
 WORKERS_ENV = "REPRO_WORKERS"
@@ -93,14 +96,46 @@ class CampaignExecution:
 
 
 #: One unit of campaign work: (index, trial, arguments, attempt,
-#: in_worker).  ``attempt`` counts pool respawns (crash faults only
-#: fire on attempt 0, so a respawned shard completes); ``in_worker``
-#: is True only on the process-pool path — the serial loop must never
-#: SIGKILL the main process.
-_Payload = Tuple[int, Callable[..., Any], Sequence[Any], int, bool]
+#: in_worker, traceparent).  ``attempt`` counts pool respawns (crash
+#: faults only fire on attempt 0, so a respawned shard completes);
+#: ``in_worker`` is True only on the process-pool path — the serial
+#: loop must never SIGKILL the main process.  ``traceparent`` carries
+#: the campaign span's trace context across the process boundary
+#: (empty when tracing is off).
+_Payload = Tuple[int, Callable[..., Any], Sequence[Any], int, bool, str]
+
+#: What one trial sends back: (result, seconds, worker telemetry).
+#: The third slot is ``None`` except on the in-worker path with
+#: observation enabled, where it carries the worker registry snapshot
+#: and its span events for the parent to merge.
+_TrialReturn = Tuple[Any, float, Optional[dict]]
 
 
-def _timed_call(payload: _Payload) -> Tuple[Any, float]:
+def _run_trial(index: int, trial: Callable[..., Any],
+               arguments: Sequence[Any],
+               traceparent: str) -> Tuple[Any, float]:
+    """The measured trial call, wrapped in a ``campaign.trial`` span.
+
+    The span parents onto the traceparent shipped in the payload, so
+    worker-process spans stitch into the parent's ``campaign.run``
+    trace; with an empty/invalid traceparent it falls back to the
+    ambient context (the serial path) or a fresh root.
+    """
+    parent = trace.parse_traceparent(traceparent) if traceparent else None
+    start = time.perf_counter()
+    with maybe_span("campaign.trial", {"trial": index}, parent=parent):
+        try:
+            result = trial(*arguments)
+        except Exception as exc:
+            name = getattr(trial, "__qualname__", repr(trial))
+            raise CampaignTrialError(
+                f"campaign trial {index} ({name}) raised "
+                f"{type(exc).__name__}: {exc}"
+            ) from exc
+    return result, time.perf_counter() - start
+
+
+def _timed_call(payload: _Payload) -> _TrialReturn:
     """Run one trial and measure it (module-level, so it pickles).
 
     A raising trial is re-raised as :class:`CampaignTrialError` naming
@@ -112,23 +147,29 @@ def _timed_call(payload: _Payload) -> Tuple[Any, float]:
     on the *trial index* — every worker, and every respawn, computes
     the same answer — and the crash is a real ``SIGKILL`` of the
     worker, exercising the executor's respawn path.
+
+    On the in-worker path with observation enabled (fork-started
+    workers inherit the enabled flag), the trial records into a fresh
+    worker-local registry and the snapshot plus span events ride back
+    in the return value — a forked copy of the parent registry could
+    never deliver its counts home, so none are silently dropped.
     """
-    index, trial, arguments, attempt, in_worker = payload
+    index, trial, arguments, attempt, in_worker, traceparent = payload
     inj = fault_armed()
     if inj is not None and in_worker and attempt == 0:
         fault = inj.draw_at("experiments.parallel", index)
         if fault is not None and fault.kind == "crash":
             os.kill(os.getpid(), signal.SIGKILL)
-    start = time.perf_counter()
-    try:
-        result = trial(*arguments)
-    except Exception as exc:
-        name = getattr(trial, "__qualname__", repr(trial))
-        raise CampaignTrialError(
-            f"campaign trial {index} ({name}) raised "
-            f"{type(exc).__name__}: {exc}"
-        ) from exc
-    return result, time.perf_counter() - start
+    if in_worker and is_enabled():
+        sink = MemorySink()
+        with observed(sink=sink) as worker_registry:
+            result, seconds = _run_trial(index, trial, arguments,
+                                         traceparent)
+            payload_out = {"snapshot": worker_registry.snapshot(),
+                           "events": list(sink.events)}
+        return result, seconds, payload_out
+    result, seconds = _run_trial(index, trial, arguments, traceparent)
+    return result, seconds, None
 
 
 def resolve_workers(workers: Optional[int] = None) -> int:
@@ -196,43 +237,49 @@ class CampaignExecutor:
         entries = [(index, trial, tuple(arguments))
                    for index, arguments in enumerate(argument_lists)]
         start = time.perf_counter()
-        try:
-            if self.workers > 1 and entries:
-                try:
-                    timed = self._run_pool(entries)
-                    execution = self._execution(timed, "parallel",
-                                                self.workers, start)
-                    self._observe(execution)
-                    return execution
-                except CampaignTrialError:
-                    # The trial itself failed — that is a campaign error
-                    # and would fail identically in the serial loop, so
-                    # propagate instead of re-running the work.
-                    raise
-                except (pickle.PicklingError, AttributeError, TypeError,
-                        BrokenProcessPool, OSError) as exc:
-                    reason = f"{type(exc).__name__}: {exc}"
-                    logger.warning(
-                        "campaign fell back to serial execution: %s",
-                        reason)
-            else:
-                reason = ""
-            timed = [_timed_call((index, fn, args, 0, False))
-                     for index, fn, args in entries]
-            execution = self._execution(timed, "serial", 1, start, reason)
-        except CampaignTrialError as exc:
-            obs = active()
-            if obs is not None:
-                obs.counter("campaign.trial_failures").increment()
-            logger.error("campaign trial failed: %s", exc)
-            raise
-        self._observe(execution)
+        with maybe_span("campaign.run", {"trials": len(entries)}):
+            parent_tp = trace.current_traceparent()
+            try:
+                if self.workers > 1 and entries:
+                    try:
+                        timed = self._run_pool(entries, parent_tp)
+                        self._merge_worker_obs(timed)
+                        execution = self._execution(timed, "parallel",
+                                                    self.workers, start)
+                        self._observe(execution)
+                        return execution
+                    except CampaignTrialError:
+                        # The trial itself failed — that is a campaign
+                        # error and would fail identically in the serial
+                        # loop, so propagate instead of re-running the
+                        # work.
+                        raise
+                    except (pickle.PicklingError, AttributeError,
+                            TypeError, BrokenProcessPool, OSError) as exc:
+                        reason = f"{type(exc).__name__}: {exc}"
+                        logger.warning(
+                            "campaign fell back to serial execution: %s",
+                            reason)
+                else:
+                    reason = ""
+                timed = [_timed_call((index, fn, args, 0, False,
+                                      parent_tp))
+                         for index, fn, args in entries]
+                execution = self._execution(timed, "serial", 1, start,
+                                            reason)
+            except CampaignTrialError as exc:
+                obs = active()
+                if obs is not None:
+                    obs.counter("campaign.trial_failures").increment()
+                logger.error("campaign trial failed: %s", exc)
+                raise
+            self._observe(execution)
         logger.debug("campaign finished: %s", execution.summary())
         return execution
 
     def _run_pool(self, entries: List[Tuple[int, Callable[..., Any],
-                                            Sequence[Any]]]
-                  ) -> List[Tuple[Any, float]]:
+                                            Sequence[Any]]],
+                  parent_tp: str = "") -> List[_TrialReturn]:
         """Sharded execution with worker-death recovery.
 
         Submits one future per trial; when a worker dies the pool
@@ -242,7 +289,7 @@ class CampaignExecutor:
         once ``max_respawns`` rebuilds have been spent (the caller's
         serial fallback takes over).
         """
-        results: Dict[int, Tuple[Any, float]] = {}
+        results: Dict[int, _TrialReturn] = {}
         respawns = 0
         remaining = entries
         while remaining:
@@ -251,7 +298,8 @@ class CampaignExecutor:
                 futures = [
                     (index,
                      pool.submit(_timed_call,
-                                 (index, fn, args, respawns, True)))
+                                 (index, fn, args, respawns, True,
+                                  parent_tp)))
                     for index, fn, args in remaining
                 ]
                 for index, future in futures:
@@ -276,6 +324,27 @@ class CampaignExecutor:
                 "resubmitting %d incomplete trial(s)",
                 respawns, self.max_respawns, len(remaining))
         return [results[index] for index, _, _ in entries]
+
+    @staticmethod
+    def _merge_worker_obs(timed: List[_TrialReturn]) -> None:
+        """Fold worker-process telemetry into the parent registry.
+
+        Walks the trial returns in submission order: snapshots merge
+        (counters sum, histograms merge) and span events re-emit
+        through the parent's sink and flight recorder, so a sharded
+        campaign's counts match the serial loop's exactly.
+        """
+        obs = active()
+        if obs is None:
+            return
+        recorder = flight_recorder()
+        for _, _, payload in timed:
+            if not payload:
+                continue
+            obs.merge_snapshot(payload.get("snapshot") or {})
+            for event in payload.get("events") or ():
+                obs.sink.emit(event)
+                recorder.record_span_event(event)
 
     @staticmethod
     def _observe(execution: CampaignExecution) -> None:
@@ -304,13 +373,13 @@ class CampaignExecutor:
         return self.run(trial, argument_lists).results
 
     @staticmethod
-    def _execution(timed: List[Tuple[Any, float]], mode: str, workers: int,
+    def _execution(timed: List[_TrialReturn], mode: str, workers: int,
                    start: float, reason: str = "") -> CampaignExecution:
         return CampaignExecution(
-            results=[result for result, _ in timed],
+            results=[result for result, _, _ in timed],
             mode=mode,
             workers=workers,
             wall_seconds=time.perf_counter() - start,
-            trial_seconds=tuple(seconds for _, seconds in timed),
+            trial_seconds=tuple(seconds for _, seconds, _ in timed),
             fallback_reason=reason,
         )

@@ -30,6 +30,7 @@ from repro.faults.inject import inject
 from repro.faults.plan import FaultPlan, FaultSpec
 from repro.faults.retry import RetryPolicy
 from repro.obs.manifest import stamp_report
+from repro.obs.recorder import recording
 from repro.obs.registry import observed
 from repro.serve.loadgen import LoadProfile, generate_requests
 from repro.serve.protocol import EstimateRequest, EstimateResponse
@@ -238,7 +239,7 @@ def run_chaos(plan: Optional[FaultPlan] = None,
         max_queue=max(1024, profile.total_requests),
         enabled=profile.batching,
     )
-    with observed() as registry:
+    with recording() as recorder, observed() as registry:
         service = InferenceService(policy=policy,
                                    model_factory=model_factory,
                                    registry=registry,
@@ -253,7 +254,15 @@ def run_chaos(plan: Optional[FaultPlan] = None,
                 outcomes = asyncio.run(_drive(service, requests))
             wall = time.perf_counter() - start
             events = injector.event_dicts()
-    survival = _survival(outcomes)
+        for event in events:
+            recorder.note_fault(event)
+        survival = _survival(outcomes)
+        recorder.note("chaos.survival", **survival)
+        if survival["crashes"]:
+            recorder.trigger("chaos.crash",
+                             crashes=survival["crashes"],
+                             crash_types=survival["crash_types"])
+        recording_path = recorder.dump("chaos.complete")
     config = {"plan": plan.to_dict(), "seed": plan.seed,
               "sensors": profile.sensors,
               "requests_per_sensor": profile.requests_per_sensor,
@@ -277,6 +286,8 @@ def run_chaos(plan: Optional[FaultPlan] = None,
             "throughput_rps": (len(requests) / wall) if wall > 0 else 0.0,
         },
         "telemetry": service.telemetry_snapshot(),
+        "flight_recording": (str(recording_path)
+                             if recording_path is not None else None),
     }
     return stamp_report(report, config=config, registry=registry)
 

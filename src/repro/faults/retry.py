@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Awaitable, Callable, Iterator, Optional, Tuple, Type, TypeVar
 
 from repro.errors import ConfigurationError
+from repro.obs.recorder import flight_recorder
 from repro.obs.registry import active
 
 T = TypeVar("T")
@@ -232,5 +233,8 @@ class CircuitBreaker:
                 if obs is not None:
                     obs.counter(
                         f"fault.breaker.{self.name}.opened").increment()
+                flight_recorder().trigger(
+                    f"breaker.{self.name}.open",
+                    failures=self._failures)
             self._state = "open"
             self._opened_at = self._clock()

@@ -51,6 +51,9 @@ from repro.errors import (
 from repro.gateway import http, websocket
 from repro.gateway.auth import Tenant, TenantTable
 from repro.gateway.http import GatewayLimits, HttpRequest
+from repro.obs import trace
+from repro.obs.recorder import flight_recorder
+from repro.obs.slo import SloMonitor, default_slos
 from repro.serve.protocol import EstimateRequest
 from repro.serve.service import InferenceService
 
@@ -141,6 +144,7 @@ class Gateway:
         self.host = host
         self.port = port
         self.touch_min_groups = int(touch_min_groups)
+        self.slo_monitor = SloMonitor(default_slos())
         self._server: Optional[asyncio.AbstractServer] = None
         self._open = 0
         self._subscribers: Dict[str, Set[_WsConnection]] = {}
@@ -193,14 +197,33 @@ class Gateway:
     def _count(self, name: str) -> None:
         self.telemetry.counter(name).increment()
 
+    def _internal_error(self, where: str) -> None:
+        """The zero-crash boundary tripped: count it and dump the
+        flight recorder so the events leading up to it survive."""
+        self._count("gateway.internal_errors")
+        flight_recorder().trigger("gateway.internal_errors",
+                                  where=where)
+
+    def _respond(self, writer: asyncio.StreamWriter, status: int,
+                 payload: dict, context: trace.TraceContext,
+                 headers: Optional[Dict[str, str]] = None,
+                 close: bool = False) -> None:
+        """One JSON response, always echoing ``X-Repro-Trace-Id``."""
+        merged = {"x-repro-trace-id": context.trace_id}
+        if headers:
+            merged.update(headers)
+        writer.write(http.json_response(status, payload,
+                                        headers=merged, close=close))
+
     async def _handle_connection(self, reader: asyncio.StreamReader,
                                  writer: asyncio.StreamWriter) -> None:
         """One TCP connection: HTTP request loop, maybe WS upgrade."""
         if self._open >= self.limits.max_connections:
             self._count("gateway.connections_refused")
-            writer.write(http.json_response(
-                503, {"error": "gateway connection limit reached"},
-                close=True))
+            self._respond(
+                writer, 503,
+                {"error": "gateway connection limit reached"},
+                trace.request_context(), close=True)
             await self._close_writer(writer)
             return
         self._open += 1
@@ -211,7 +234,7 @@ class Gateway:
         except (ConnectionError, TimeoutError):
             pass  # peer went away; nothing to answer
         except Exception:  # noqa: BLE001 - the zero-crash boundary
-            self._count("gateway.internal_errors")
+            self._internal_error("connection")
             logger.exception("unhandled error on gateway connection")
         finally:
             self._open -= 1
@@ -227,8 +250,8 @@ class Gateway:
                 request = await http.read_request(reader, self.limits)
             except ProtocolError as exc:
                 self._count("gateway.protocol_errors")
-                writer.write(http.json_response(
-                    400, {"error": str(exc)}, close=True))
+                self._respond(writer, 400, {"error": str(exc)},
+                              trace.request_context(), close=True)
                 await self._drain(writer)
                 return
             if request is None:
@@ -240,58 +263,81 @@ class Gateway:
     async def _dispatch(self, request: HttpRequest,
                         reader: asyncio.StreamReader,
                         writer: asyncio.StreamWriter) -> bool:
-        """Route one request; returns whether to keep the connection."""
+        """Route one request; returns whether to keep the connection.
+
+        Every request gets a :class:`repro.obs.trace.TraceContext` —
+        continuing the caller's trace when a valid ``traceparent``
+        header arrived, starting a fresh root otherwise — and every
+        response echoes its trace ID in ``X-Repro-Trace-Id``.
+        """
         self._count("gateway.http_requests")
         path = request.path
         wants_close = request.header("connection").lower() == "close"
-        if path == "/healthz":
-            writer.write(http.json_response(200, {
-                "status": "ok",
-                "sessions": len(self.service.sessions),
-            }, close=wants_close))
-        elif path == "/metrics":
-            from repro.obs.exporters import to_prometheus
+        remote = trace.parse_traceparent(
+            request.header("traceparent") or None)
+        context = trace.request_context(remote)
+        with self.telemetry.span(
+                "gateway.request",
+                {"path": path, "method": request.method},
+                context=context, parent=remote):
+            if path == "/healthz":
+                statuses = self.slo_monitor.observe(
+                    self.telemetry.snapshot())
+                healthy = all(status["ok"] and not status["alerting"]
+                              for status in statuses)
+                self._respond(writer, 200, {
+                    "status": "ok" if healthy else "degraded",
+                    "sessions": len(self.service.sessions),
+                    "slo": statuses,
+                }, context, close=wants_close)
+            elif path == "/metrics":
+                from repro.obs.exporters import to_prometheus
 
-            body = to_prometheus(self.telemetry.snapshot()).encode()
-            writer.write(http.render_response(
-                200, body, content_type="text/plain; version=0.0.4",
-                close=wants_close))
-        else:
-            try:
-                tenant = self.tenants.authenticate(
-                    request.header("authorization") or None)
-            except AuthError as exc:
-                self._count("gateway.auth_failures")
-                writer.write(http.json_response(
-                    401, {"error": str(exc)}, close=wants_close))
-                await self._drain(writer)
-                return not wants_close
-            if path == "/v1/stream":
-                await self._upgrade(request, reader, writer, tenant)
-                return False
-            await self._serve_http(request, writer, tenant,
-                                   wants_close)
+                body = to_prometheus(self.telemetry.snapshot()).encode()
+                writer.write(http.render_response(
+                    200, body,
+                    content_type="text/plain; version=0.0.4",
+                    headers={"x-repro-trace-id": context.trace_id},
+                    close=wants_close))
+            else:
+                try:
+                    tenant = self.tenants.authenticate(
+                        request.header("authorization") or None)
+                except AuthError as exc:
+                    self._count("gateway.auth_failures")
+                    self._respond(writer, 401, {"error": str(exc)},
+                                  context, close=wants_close)
+                    await self._drain(writer)
+                    return not wants_close
+                if path == "/v1/stream":
+                    await self._upgrade(request, reader, writer,
+                                        tenant, context)
+                    return False
+                await self._serve_http(request, writer, tenant,
+                                       wants_close, context)
         await self._drain(writer)
         return not wants_close
 
     async def _serve_http(self, request: HttpRequest,
                           writer: asyncio.StreamWriter,
-                          tenant: Tenant, wants_close: bool) -> None:
+                          tenant: Tenant, wants_close: bool,
+                          context: trace.TraceContext) -> None:
         """The plain request/response endpoints."""
         loop = asyncio.get_running_loop()
         path = request.path
         if path == "/v1/estimate":
             if request.method != "POST":
-                writer.write(http.json_response(
-                    405, {"error": "use POST"}, close=wants_close))
+                self._respond(writer, 405, {"error": "use POST"},
+                              context, close=wants_close)
                 return
             if not self.tenants.admit(tenant, loop.time()):
                 self._count("gateway.rate_limited")
-                writer.write(http.json_response(429, {
+                self._respond(writer, 429, {
                     "error": f"tenant {tenant.name!r} exceeded its "
                              "request quota",
                     "quality": "rejected",
-                }, headers={"retry-after": "1"}, close=wants_close))
+                }, context, headers={"retry-after": "1"},
+                    close=wants_close)
                 return
             start = loop.time()
             try:
@@ -301,37 +347,39 @@ class Gateway:
                     estimate_request)
             except ProtocolError as exc:
                 self._count("gateway.protocol_errors")
-                writer.write(http.json_response(
-                    400, {"error": str(exc)}, close=wants_close))
+                self._respond(writer, 400, {"error": str(exc)},
+                              context, close=wants_close)
                 return
             except QueueFullError as exc:
                 self._count("gateway.rejected")
-                writer.write(http.json_response(429, {
+                self._respond(writer, 429, {
                     "error": str(exc), "quality": "rejected",
-                }, headers={"retry-after": "1"}, close=wants_close))
+                }, context, headers={"retry-after": "1"},
+                    close=wants_close)
                 return
             except ServeError as exc:
-                writer.write(http.json_response(
-                    400, {"error": str(exc)}, close=wants_close))
+                self._respond(writer, 400, {"error": str(exc)},
+                              context, close=wants_close)
                 return
             except Exception:  # noqa: BLE001 - zero-crash boundary
-                self._count("gateway.internal_errors")
+                self._internal_error("/v1/estimate")
                 logger.exception("estimate failed on /v1/estimate")
-                writer.write(http.json_response(
-                    500, {"error": "internal gateway error"},
-                    close=wants_close))
+                self._respond(writer, 500,
+                              {"error": "internal gateway error"},
+                              context, close=wants_close)
                 return
             self.telemetry.histogram(
                 "gateway.request_seconds").observe(loop.time() - start)
             self._count("gateway.responses")
-            writer.write(http.json_response(200, response.to_dict(),
-                                            close=wants_close))
+            self._respond(writer, 200, response.to_dict(), context,
+                          close=wants_close)
         elif path == "/v1/touch_events":
             sensor_id = request.query.get("sensor_id", "")
             if not sensor_id:
-                writer.write(http.json_response(
-                    400, {"error": "sensor_id query parameter is "
-                                   "required"}, close=wants_close))
+                self._respond(writer, 400,
+                              {"error": "sensor_id query parameter "
+                                        "is required"},
+                              context, close=wants_close)
                 return
             try:
                 min_groups = int(request.query.get(
@@ -339,22 +387,23 @@ class Gateway:
                 events = self.service.touch_events(
                     sensor_id, min_groups=min_groups)
             except ValueError:
-                writer.write(http.json_response(
-                    400, {"error": "min_groups must be an integer"},
-                    close=wants_close))
+                self._respond(writer, 400,
+                              {"error": "min_groups must be an "
+                                        "integer"},
+                              context, close=wants_close)
                 return
             except ServeError as exc:
-                writer.write(http.json_response(
-                    404, {"error": str(exc)}, close=wants_close))
+                self._respond(writer, 404, {"error": str(exc)},
+                              context, close=wants_close)
                 return
-            writer.write(http.json_response(200, {
+            self._respond(writer, 200, {
                 "sensor_id": sensor_id,
                 "events": [event.to_dict() for event in events],
-            }, close=wants_close))
+            }, context, close=wants_close)
         else:
-            writer.write(http.json_response(
-                404, {"error": f"no route for {path[:80]!r}"},
-                close=wants_close))
+            self._respond(writer, 404,
+                          {"error": f"no route for {path[:80]!r}"},
+                          context, close=wants_close)
 
     # ------------------------------------------------------------------
     # WebSocket path
@@ -363,7 +412,8 @@ class Gateway:
     async def _upgrade(self, request: HttpRequest,
                        reader: asyncio.StreamReader,
                        writer: asyncio.StreamWriter,
-                       tenant: Tenant) -> None:
+                       tenant: Tenant,
+                       context: trace.TraceContext) -> None:
         """Validate the handshake and run the streaming session."""
         key = request.header("sec-websocket-key")
         upgrade_ok = (
@@ -374,19 +424,20 @@ class Gateway:
             and request.header("sec-websocket-version", "13") == "13")
         if not upgrade_ok:
             self._count("gateway.protocol_errors")
-            writer.write(http.json_response(
-                426, {"error": "/v1/stream requires a WebSocket "
-                               "upgrade (version 13)"},
-                headers={"upgrade": "websocket"}, close=True))
+            self._respond(writer, 426,
+                          {"error": "/v1/stream requires a WebSocket "
+                                    "upgrade (version 13)"},
+                          context, headers={"upgrade": "websocket"},
+                          close=True)
             await self._drain(writer)
             return
         if not self.tenants.acquire_connection(tenant):
             self._count("gateway.rate_limited")
-            writer.write(http.json_response(429, {
+            self._respond(writer, 429, {
                 "error": f"tenant {tenant.name!r} reached its "
                          "connection quota",
                 "quality": "rejected",
-            }, close=True))
+            }, context, close=True)
             await self._drain(writer)
             return
         conn = _WsConnection(writer, tenant)
@@ -395,6 +446,7 @@ class Gateway:
                 "upgrade": "websocket",
                 "connection": "Upgrade",
                 "sec-websocket-accept": websocket.accept_key(key),
+                "x-repro-trace-id": context.trace_id,
             }))
             await self._drain(writer)
             self._count("gateway.ws_sessions")
@@ -513,11 +565,19 @@ class Gateway:
 
     async def _serve_ws_estimate(self, conn: _WsConnection,
                                  message: dict) -> None:
-        """One estimate message (runs as its own task)."""
+        """One estimate message (runs as its own task).
+
+        Each message gets its own trace context — continuing the
+        caller's when the message carries a valid ``"traceparent"``
+        value, a fresh root otherwise — and every reply (estimate or
+        error envelope) echoes its ``trace_id``.
+        """
         loop = asyncio.get_running_loop()
         start = loop.time()
+        remote = trace.parse_traceparent(message.get("traceparent"))
+        context = trace.request_context(remote)
         payload = message.get("request")
-        echo = {}
+        echo = {"trace_id": context.trace_id}
         if isinstance(payload, dict):
             for key in ("sensor_id", "sequence"):
                 if key in payload:
@@ -530,40 +590,45 @@ class Gateway:
                 "error": f"tenant {conn.tenant.name!r} exceeded its "
                          "request quota"}))
             return
-        try:
-            request = EstimateRequest.from_dict(payload)
-        except ProtocolError as exc:
-            self._count("gateway.protocol_errors")
-            await conn.send_json(dict(echo, **{
-                "type": "error", "code": "protocol",
-                "error": str(exc)}))
-            return
-        try:
-            response = await self.service.estimate(request)
-        except QueueFullError as exc:
-            self._count("gateway.rejected")
-            await conn.send_json(dict(echo, **{
-                "type": "error", "code": "backpressure",
-                "quality": "rejected", "error": str(exc)}))
-            return
-        except ServeError as exc:
-            await conn.send_json(dict(echo, **{
-                "type": "error", "code": "serve",
-                "error": str(exc)}))
-            return
-        except asyncio.CancelledError:
-            raise
-        except Exception:  # noqa: BLE001 - zero-crash boundary
-            self._count("gateway.internal_errors")
-            logger.exception("estimate failed on /v1/stream")
-            await conn.send_json(dict(echo, **{
-                "type": "error", "code": "internal",
-                "error": "internal gateway error"}))
-            return
+        with self.telemetry.span(
+                "gateway.request",
+                {"path": "/v1/stream", "method": "WS"},
+                context=context, parent=remote):
+            try:
+                request = EstimateRequest.from_dict(payload)
+            except ProtocolError as exc:
+                self._count("gateway.protocol_errors")
+                await conn.send_json(dict(echo, **{
+                    "type": "error", "code": "protocol",
+                    "error": str(exc)}))
+                return
+            try:
+                response = await self.service.estimate(request)
+            except QueueFullError as exc:
+                self._count("gateway.rejected")
+                await conn.send_json(dict(echo, **{
+                    "type": "error", "code": "backpressure",
+                    "quality": "rejected", "error": str(exc)}))
+                return
+            except ServeError as exc:
+                await conn.send_json(dict(echo, **{
+                    "type": "error", "code": "serve",
+                    "error": str(exc)}))
+                return
+            except asyncio.CancelledError:
+                raise
+            except Exception:  # noqa: BLE001 - zero-crash boundary
+                self._internal_error("/v1/stream")
+                logger.exception("estimate failed on /v1/stream")
+                await conn.send_json(dict(echo, **{
+                    "type": "error", "code": "internal",
+                    "error": "internal gateway error"}))
+                return
         self.telemetry.histogram("gateway.request_seconds").observe(
             loop.time() - start)
         self._count("gateway.responses")
         await conn.send_json({"type": "estimate",
+                              "trace_id": context.trace_id,
                               "response": response.to_dict()})
         await self._push_touch_events(request.sensor_id)
 

@@ -28,6 +28,7 @@ from repro.obs.instruments import (
     Counter,
     Gauge,
     Histogram,
+    JsonlSink,
     MemorySink,
     NullSink,
     Span,
@@ -42,6 +43,12 @@ from repro.obs.manifest import (
     stamp_report,
 )
 from repro.obs.profiler import Profiler
+from repro.obs.recorder import (
+    FlightRecorder,
+    flight_recorder,
+    recording,
+    set_flight_recorder,
+)
 from repro.obs.registry import (
     Registry,
     active,
@@ -54,35 +61,72 @@ from repro.obs.registry import (
     observed,
     set_registry,
 )
+from repro.obs.slo import (
+    Slo,
+    SloMonitor,
+    default_slos,
+    evaluate_report,
+    evaluate_snapshot,
+    report_slos,
+)
+from repro.obs.trace import (
+    TraceContext,
+    current_context,
+    current_traceparent,
+    encode_traceparent,
+    new_trace_id,
+    parse_traceparent,
+    trace_sampled,
+    use_context,
+)
 
 __all__ = [
     "BATCH_BUCKETS",
     "Counter",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
+    "JsonlSink",
     "LATENCY_BUCKETS",
     "MemorySink",
     "NullSink",
     "Profiler",
     "Registry",
     "SCHEMA_VERSION",
+    "Slo",
+    "SloMonitor",
     "Span",
     "TelemetrySink",
+    "TraceContext",
     "active",
     "config_hash",
     "configure_logging",
+    "current_context",
+    "current_traceparent",
+    "default_slos",
     "disable",
     "enable",
     "enable_from_env",
+    "encode_traceparent",
+    "evaluate_report",
+    "evaluate_snapshot",
+    "flight_recorder",
     "get_logger",
     "git_sha",
     "is_enabled",
     "maybe_span",
+    "new_trace_id",
     "observed",
+    "parse_traceparent",
+    "recording",
     "registry_from_snapshot",
+    "report_slos",
     "run_manifest",
+    "set_flight_recorder",
     "set_registry",
     "stamp_report",
     "to_prometheus",
+    "trace_sampled",
+    "use_context",
     "write_snapshot",
 ]

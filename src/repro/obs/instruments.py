@@ -18,12 +18,15 @@ largest finite bound instead of extrapolating past it.
 
 from __future__ import annotations
 
+import json
 import math
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.errors import ObservabilityError
+from repro.obs import trace
 
 #: Default latency buckets [s]: 100 us .. ~5 s, log-spaced.
 LATENCY_BUCKETS = (1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1, 3e-1,
@@ -57,6 +60,30 @@ class MemorySink(TelemetrySink):
 
     def emit(self, event: dict) -> None:
         self.events.append(event)
+
+
+class JsonlSink(TelemetrySink):
+    """Appends every event as one JSON line to a file.
+
+    The trace-export sink: ``REPRO_TRACE_EXPORT=<path>`` installs one
+    at CLI startup (see :func:`repro.obs.registry.enable_from_env`),
+    and ``repro trace show <trace-id> --input <path>`` renders span
+    waterfalls from the resulting file.  Lines are flushed per event
+    so a crashed process still leaves a readable file behind.
+    """
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = self.path.open("a", encoding="utf-8")
+
+    def emit(self, event: dict) -> None:
+        self._handle.write(
+            json.dumps(event, sort_keys=True, default=str) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        self._handle.close()
 
 
 @dataclass
@@ -199,23 +226,63 @@ class Histogram:
             histogram.maximum = float(payload["max"])
         return histogram
 
+    def merge(self, other: "Histogram") -> None:
+        """Fold ``other``'s observations into this histogram.
+
+        How campaign-worker snapshots come home: bucket counts add
+        elementwise (the bounds must match exactly — merging across
+        bucket layouts would silently misplace observations), the
+        running count/sum add, and the extremes widen.
+
+        Raises:
+            ObservabilityError: Mismatched bucket bounds.
+        """
+        if other.bounds != self.bounds:
+            raise ObservabilityError(
+                f"histogram {self.name} cannot merge mismatched bounds "
+                f"{other.bounds} into {self.bounds}")
+        for index, count in enumerate(other.counts):
+            self.counts[index] += count
+        self.count += other.count
+        self.total += other.total
+        if other.count:
+            self.minimum = min(self.minimum, other.minimum)
+            self.maximum = max(self.maximum, other.maximum)
+
 
 class Span:
-    """A lightweight trace span (context manager).
+    """A trace span (context manager) with parent/child structure.
 
     Measures wall-clock duration with ``perf_counter`` and hands one
     event dict back to its registry on exit (which forwards it to the
-    sink and records the duration in a per-stage histogram); nothing
-    is retained on the span itself, keeping the hot path
-    allocation-light.
+    sink, the flight recorder, and a per-stage histogram).
+
+    On entry the span resolves its :class:`repro.obs.trace.TraceContext`
+    — an explicit ``context`` wins, else a child of the explicit
+    ``parent``, else a child of the ambient context (a fresh root when
+    there is none) — and makes it the ambient context for the ``with``
+    body, so nested spans stitch into a tree without any plumbing at
+    the call sites.  ``links`` carries *other* contexts causally tied
+    to this span without being its parent (a micro-batch flush links
+    every member request's span).
     """
 
     def __init__(self, registry, name: str,
-                 attributes: Optional[dict] = None):
+                 attributes: Optional[dict] = None,
+                 context: Optional[trace.TraceContext] = None,
+                 parent: Optional[trace.TraceContext] = None,
+                 links: Optional[Sequence[trace.TraceContext]] = None):
         self._registry = registry
         self.name = name
         self.attributes = dict(attributes or {})
         self.duration_s: Optional[float] = None
+        self.context: Optional[trace.TraceContext] = None
+        self.parent_span_id: Optional[str] = None
+        self.start_unix: Optional[float] = None
+        self.links: Tuple[trace.TraceContext, ...] = tuple(links or ())
+        self._explicit_context = context
+        self._explicit_parent = parent
+        self._token = None
         self._start = 0.0
 
     def set(self, key: str, value) -> None:
@@ -223,10 +290,28 @@ class Span:
         self.attributes[key] = value
 
     def __enter__(self) -> "Span":
+        if self._explicit_context is not None:
+            context = self._explicit_context
+            parent = self._explicit_parent
+        elif self._explicit_parent is not None:
+            parent = self._explicit_parent
+            context = parent.child()
+        else:
+            parent = trace.current_context()
+            context = (parent.child() if parent is not None
+                       else trace.new_root())
+        self.context = context
+        if parent is not None and parent.sampled:
+            self.parent_span_id = parent.span_id
+        self._token = trace.set_context(context)
+        if context.sampled:
+            self.start_unix = time.time()
         self._start = time.perf_counter()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
         self.duration_s = time.perf_counter() - self._start
-        self._registry._record_span(
-            self, exc_type.__name__ if exc_type else None)
+        if self._token is not None:
+            trace.reset_context(self._token)
+            self._token = None
+        self._registry._record_span(self, exc)

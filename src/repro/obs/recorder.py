@@ -1,0 +1,215 @@
+"""The flight recorder: a bounded ring of recent telemetry events.
+
+Every process keeps one :class:`FlightRecorder` — a ``deque`` of the
+last ~2k events (span records, wide structured log events, injected
+fault events).  Recording is always cheap (one append); nothing is
+written anywhere until something goes wrong.  On a failure trigger —
+a ``gateway.internal_errors`` increment, a circuit breaker opening,
+or a chaos-harness crash — the ring is dumped as JSONL so the events
+*leading up to* the failure survive for post-mortem.
+
+Dump format: line one is a header
+(``{"kind": "header", "schema": 1, "reason": ..., "pid": ...,
+"created_unix": ..., "events": N}``), then one JSON object per event
+with a monotonically increasing ``seq`` and a ``kind`` of ``"span"``
+(a registry span event, including its trace/span IDs when sampled),
+``"log"`` (a wide event from :meth:`FlightRecorder.note`), or
+``"fault"`` (an injected :class:`repro.faults.inject.FaultEvent`).
+``"log"`` and ``"fault"`` events carry **no timestamps**, so two
+same-seed chaos runs dump bit-identical non-span lines — the replay
+determinism contract tested in ``tests/test_obs_recorder.py``.
+``repro trace show`` renders span waterfalls from these files.
+
+Dumps are opt-in: they go to an explicit directory
+(constructor/``dump`` argument), else ``REPRO_RECORDER_DIR``, else —
+only when ``REPRO_RECORDER`` is truthy — ``./flight-recordings``.
+With none of those set, triggers still record the wide event but
+write nothing, so test suites that intentionally provoke failures do
+not litter the working tree.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from collections import deque
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator, List, Optional, Union
+
+#: Directory for automatic dumps (setting it enables them).
+RECORDER_DIR_ENV = "REPRO_RECORDER_DIR"
+
+#: Truthy value enables dumps into ``./flight-recordings``.
+RECORDER_ENV = "REPRO_RECORDER"
+
+DEFAULT_CAPACITY = 2048
+
+#: Per-process cap on automatic dumps (a crash loop must not fill
+#: the disk with near-identical recordings).
+DEFAULT_MAX_DUMPS = 16
+
+_DUMP_SCHEMA = 1
+
+
+def _truthy(raw: str) -> bool:
+    raw = raw.strip().lower()
+    return bool(raw) and raw not in ("0", "false", "no")
+
+
+def _slug(text: str) -> str:
+    cleaned = "".join(char if char.isalnum() else "-"
+                      for char in text.lower())
+    return "-".join(part for part in cleaned.split("-") if part) or "dump"
+
+
+class FlightRecorder:
+    """Bounded ring buffer of recent events with JSONL dumps.
+
+    Args:
+        capacity: Ring size in events (oldest evicted first).
+        directory: Explicit dump directory; when given, dumps are
+            always written (the env-var gate is for the implicit
+            process-wide recorder).
+        max_dumps: Automatic-dump budget for this recorder.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY,
+                 directory: Optional[Union[str, Path]] = None,
+                 max_dumps: int = DEFAULT_MAX_DUMPS):
+        self.capacity = int(capacity)
+        self.directory = Path(directory) if directory is not None else None
+        self.max_dumps = int(max_dumps)
+        self.dumps: List[Path] = []
+        self._events: "deque[dict]" = deque(maxlen=self.capacity)
+        self._sequence = 0
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def record(self, kind: str, payload: dict) -> None:
+        """Append one event (the only hot-path entry point).
+
+        The ring's ``kind`` tag is authoritative — a payload carrying
+        its own ``kind`` key (injected fault events do) cannot
+        overwrite it.
+        """
+        self._sequence += 1
+        event = {"seq": self._sequence}
+        event.update(payload)
+        event["kind"] = kind
+        self._events.append(event)
+
+    def record_span_event(self, event: dict) -> None:
+        """Feed one registry span event into the ring."""
+        self.record("span", event)
+
+    def note(self, event: str, **fields) -> None:
+        """Record one wide structured log event (no timestamp — the
+        deterministic-replay contract covers these lines)."""
+        payload = {"event": event}
+        payload.update(fields)
+        self.record("log", payload)
+
+    def note_fault(self, fault_event: dict) -> None:
+        """Record one injected-fault event dict.
+
+        The fault's own ``kind`` (stall/reject/...) is preserved as
+        ``fault_kind`` so the ring-level ``kind: "fault"`` tag stays
+        unambiguous.
+        """
+        payload = dict(fault_event)
+        if "kind" in payload:
+            payload["fault_kind"] = payload.pop("kind")
+        self.record("fault", payload)
+
+    def snapshot(self) -> List[dict]:
+        """The current ring contents, oldest first (copies)."""
+        return [dict(event) for event in self._events]
+
+    def clear(self) -> None:
+        """Drop all buffered events (the sequence keeps counting)."""
+        self._events.clear()
+
+    def _resolve_directory(self, directory: Optional[Union[str, Path]]
+                           ) -> Optional[Path]:
+        if directory is not None:
+            return Path(directory)
+        if self.directory is not None:
+            return self.directory
+        env_dir = os.environ.get(RECORDER_DIR_ENV, "").strip()
+        if env_dir:
+            return Path(env_dir)
+        if _truthy(os.environ.get(RECORDER_ENV, "")):
+            return Path("flight-recordings")
+        return None
+
+    def dump(self, reason: str,
+             directory: Optional[Union[str, Path]] = None
+             ) -> Optional[Path]:
+        """Write the ring as JSONL; returns the path (None if gated).
+
+        ``None`` means dumps are disabled (no directory resolved) or
+        this recorder already spent its ``max_dumps`` budget.
+        """
+        target = self._resolve_directory(directory)
+        if target is None or len(self.dumps) >= self.max_dumps:
+            return None
+        target.mkdir(parents=True, exist_ok=True)
+        name = (f"flight-{_slug(reason)}-{os.getpid()}-"
+                f"{len(self.dumps):03d}.jsonl")
+        path = target / name
+        header = {
+            "kind": "header",
+            "schema": _DUMP_SCHEMA,
+            "reason": reason,
+            "pid": os.getpid(),
+            "created_unix": time.time(),
+            "events": len(self._events),
+        }
+        lines = [json.dumps(header, sort_keys=True)]
+        lines.extend(json.dumps(event, sort_keys=True, default=str)
+                     for event in self._events)
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        self.dumps.append(path)
+        return path
+
+    def trigger(self, reason: str, **fields) -> Optional[Path]:
+        """Record a wide event for ``reason``, then dump the ring."""
+        self.note(reason, **fields)
+        return self.dump(reason)
+
+
+_recorder = FlightRecorder()
+
+
+def flight_recorder() -> FlightRecorder:
+    """The process-wide flight recorder (always exists)."""
+    return _recorder
+
+
+def set_flight_recorder(recorder: FlightRecorder) -> FlightRecorder:
+    """Swap the process-wide recorder; returns the previous one."""
+    global _recorder
+    previous, _recorder = _recorder, recorder
+    return previous
+
+
+@contextmanager
+def recording(capacity: int = DEFAULT_CAPACITY,
+              directory: Optional[Union[str, Path]] = None,
+              max_dumps: int = DEFAULT_MAX_DUMPS
+              ) -> Iterator[FlightRecorder]:
+    """Scope a fresh process-wide recorder for one ``with`` block.
+
+    What the chaos harness (and tests) use so one run's ring cannot
+    leak stale events into another run's dump.
+    """
+    fresh = FlightRecorder(capacity=capacity, directory=directory,
+                           max_dumps=max_dumps)
+    previous = set_flight_recorder(fresh)
+    try:
+        yield fresh
+    finally:
+        set_flight_recorder(previous)

@@ -24,18 +24,25 @@ import os
 from contextlib import contextmanager
 from typing import Dict, Iterator, Optional, Sequence
 
+from repro.obs import trace
 from repro.obs.instruments import (
     LATENCY_BUCKETS,
     Counter,
     Gauge,
     Histogram,
+    JsonlSink,
     NullSink,
     Span,
     TelemetrySink,
 )
+from repro.obs.recorder import flight_recorder
 
 #: Environment variable that turns observation on at CLI startup.
 OBS_ENV = "REPRO_OBS"
+
+#: Path for a JSONL span-event export sink, installed at CLI startup
+#: when observation is enabled (``repro trace show`` reads it).
+TRACE_EXPORT_ENV = "REPRO_TRACE_EXPORT"
 
 
 class Registry:
@@ -75,26 +82,71 @@ class Registry:
         return histogram
 
     def span(self, name: str,
-             attributes: Optional[dict] = None) -> Span:
+             attributes: Optional[dict] = None,
+             context: Optional[trace.TraceContext] = None,
+             parent: Optional[trace.TraceContext] = None,
+             links: Optional[Sequence[trace.TraceContext]] = None
+             ) -> Span:
         """Open a trace span (use as a context manager).
 
         On exit the span's duration lands in the per-stage histogram
         ``span.<name>.seconds`` (how per-stage latency stats survive
-        into snapshots) and one event dict goes to the sink.
+        into snapshots) and one event dict goes to the sink and the
+        flight recorder.  ``context`` / ``parent`` / ``links`` pin the
+        span's place in the trace tree explicitly; by default it
+        nests under the ambient :func:`repro.obs.trace.current_context`.
         """
-        return Span(self, name, attributes)
+        return Span(self, name, attributes, context=context,
+                    parent=parent, links=links)
 
-    def _record_span(self, span: Span, error: Optional[str]) -> None:
+    def _record_span(self, span: Span, exc: Optional[BaseException]
+                     ) -> None:
         """Span exit hook: emit the event, keep the stage histogram."""
         self.histogram(f"span.{span.name}.seconds").observe(
             span.duration_s)
         event = {
             "span": span.name,
             "duration_s": span.duration_s,
-            "error": error,
+            "status": "ok" if exc is None else "error",
+            "error": None if exc is None else type(exc).__name__,
         }
+        if exc is not None:
+            event["error_message"] = str(exc)
+        context = span.context
+        if context is not None and context.sampled:
+            event["trace_id"] = context.trace_id
+            event["span_id"] = context.span_id
+            event["parent_span_id"] = span.parent_span_id
+            event["start_unix"] = span.start_unix
+            links = [{"trace_id": link.trace_id,
+                      "span_id": link.span_id}
+                     for link in span.links if link.sampled]
+            if links:
+                event["links"] = links
         event.update(span.attributes)
         self.sink.emit(event)
+        flight_recorder().record_span_event(event)
+
+    def merge_snapshot(self, snapshot: dict) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        How campaign-worker telemetry survives the process boundary:
+        counters sum, histograms merge elementwise (matching bounds
+        required), gauges are point-in-time so the incoming value
+        wins.  Merging the same snapshot twice double-counts — the
+        caller owns exactly-once delivery.
+        """
+        for name, value in (snapshot.get("counters") or {}).items():
+            self.counter(name).increment(int(value))
+        for name, value in (snapshot.get("gauges") or {}).items():
+            self.gauge(name).set(float(value))
+        for name, payload in (snapshot.get("histograms") or {}).items():
+            incoming = Histogram.from_dict(payload)
+            existing = self._histograms.get(name)
+            if existing is None:
+                self._histograms[name] = incoming
+            else:
+                existing.merge(incoming)
 
     def snapshot(self) -> dict:
         """All instrument states as a JSON-ready dict."""
@@ -153,12 +205,19 @@ def enable_from_env(environ: Optional[dict] = None) -> bool:
     """Enable observation when ``REPRO_OBS`` is set truthy.
 
     Returns whether observation is enabled afterwards.  ``0``, empty,
-    ``false`` and ``no`` (case-insensitive) leave it off.
+    ``false`` and ``no`` (case-insensitive) leave it off.  When
+    enabling, a ``REPRO_TRACE_EXPORT=<path>`` additionally points the
+    default registry's sink at a :class:`JsonlSink`, so every span
+    event (trace IDs included) lands in a file ``repro trace show``
+    can render.
     """
-    raw = (environ if environ is not None else os.environ).get(
-        OBS_ENV, "").strip().lower()
+    env = environ if environ is not None else os.environ
+    raw = env.get(OBS_ENV, "").strip().lower()
     if raw and raw not in ("0", "false", "no"):
         enable()
+        export_path = env.get(TRACE_EXPORT_ENV, "").strip()
+        if export_path and isinstance(_registry.sink, NullSink):
+            _registry.sink = JsonlSink(export_path)
     return _enabled
 
 
@@ -190,12 +249,16 @@ class _NullSpan:
 _NULL_SPAN = _NullSpan()
 
 
-def maybe_span(name: str, attributes: Optional[dict] = None):
+def maybe_span(name: str, attributes: Optional[dict] = None,
+               context: Optional[trace.TraceContext] = None,
+               parent: Optional[trace.TraceContext] = None,
+               links: Optional[Sequence[trace.TraceContext]] = None):
     """A real span when observation is on, else a shared no-op."""
     obs = active()
     if obs is None:
         return _NULL_SPAN
-    return obs.span(name, attributes)
+    return obs.span(name, attributes, context=context, parent=parent,
+                    links=links)
 
 
 @contextmanager

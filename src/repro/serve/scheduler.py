@@ -43,6 +43,7 @@ from repro.core.estimator import ForceLocationEstimate, ForceLocationEstimator
 from repro.errors import QueueFullError, ServeError
 from repro.faults.inject import FaultEvent, armed as fault_armed
 from repro.faults.retry import CircuitBreaker
+from repro.obs import trace
 from repro.obs.instruments import BATCH_BUCKETS
 from repro.obs.registry import Registry as Telemetry
 
@@ -110,6 +111,10 @@ class _Pending:
     future: "asyncio.Future[ScheduledEstimate]"
     enqueued: float
     quality: str = "ok"
+    #: The submitter's trace context: the flush span parents on the
+    #: first member's and links every member's, so a batch shared by
+    #: many requests is reachable from each request's trace.
+    trace_ctx: Optional[trace.TraceContext] = None
 
 
 @dataclass
@@ -209,7 +214,8 @@ class MicroBatchScheduler:
                          location_hint=location_hint,
                          future=loop.create_future(),
                          enqueued=loop.time(),
-                         quality=quality)
+                         quality=quality,
+                         trace_ctx=trace.current_context())
         group.entries.append(entry)
         self._pending_total += 1
         if len(group.entries) >= self.policy.max_batch:
@@ -271,10 +277,17 @@ class MicroBatchScheduler:
         self.telemetry.counter("serve.batches").increment()
         self.telemetry.histogram("serve.batch_size",
                                  BATCH_BUCKETS).observe(size)
-        with self.telemetry.span("serve.flush",
-                                 {"batch_size": size}) as span:
+        member_contexts = [entry.trace_ctx for entry in entries
+                           if entry.trace_ctx is not None]
+        with self.telemetry.span(
+                "serve.flush", {"batch_size": size},
+                parent=member_contexts[0] if member_contexts else None,
+                links=member_contexts) as span:
             try:
-                estimates = self._invert_batched(group.estimator, entries)
+                with self.telemetry.span("estimator.invert_batch",
+                                         {"batch_size": size}):
+                    estimates = self._invert_batched(group.estimator,
+                                                     entries)
             except Exception as exc:
                 # Batcher failure: degrade to per-request scalar
                 # inversion so one poisoned sample fails alone.

@@ -93,35 +93,42 @@ class InferenceService:
         """
         loop = asyncio.get_running_loop()
         start = loop.time()
-        session = self.sessions.session(request.sensor_id, request.config)
-        phi1, phi2 = session.correct(request.time, request.phi1,
-                                     request.phi2)
-        retried = False
+        with self.telemetry.span(
+                "serve.estimate",
+                {"sensor_id": request.sensor_id,
+                 "sequence": request.sequence}):
+            with self.telemetry.span(
+                    "serve.session", {"sensor_id": request.sensor_id}):
+                session = self.sessions.session(request.sensor_id,
+                                                request.config)
+                phi1, phi2 = session.correct(request.time, request.phi1,
+                                             request.phi2)
+            retried = False
 
-        def _saw_retry(attempt: int, exc: BaseException) -> None:
-            nonlocal retried
-            retried = True
+            def _saw_retry(attempt: int, exc: BaseException) -> None:
+                nonlocal retried
+                retried = True
 
-        scheduled = await retry_async(
-            lambda: self.scheduler.submit(
-                session.estimator, phi1, phi2,
-                location_hint=request.location_hint,
-                key=session.config),
-            policy=self.retry_policy,
-            retry_on=(QueueFullError,),
-            name="serve.submit",
-            on_retry=_saw_retry)
-        quality = scheduled.quality
-        if retried and quality == "ok":
-            quality = "recovered"
-        session.note_quality(quality)
-        if session.quarantined:
-            quality = "quarantined"
-        estimate = scheduled.estimate
-        session.record(TrackedSample(
-            time=request.time, phi1=phi1, phi2=phi2,
-            touched=estimate.touched, force=estimate.force,
-            location=estimate.location, quality=quality))
+            scheduled = await retry_async(
+                lambda: self.scheduler.submit(
+                    session.estimator, phi1, phi2,
+                    location_hint=request.location_hint,
+                    key=session.config),
+                policy=self.retry_policy,
+                retry_on=(QueueFullError,),
+                name="serve.submit",
+                on_retry=_saw_retry)
+            quality = scheduled.quality
+            if retried and quality == "ok":
+                quality = "recovered"
+            session.note_quality(quality)
+            if session.quarantined:
+                quality = "quarantined"
+            estimate = scheduled.estimate
+            session.record(TrackedSample(
+                time=request.time, phi1=phi1, phi2=phi2,
+                touched=estimate.touched, force=estimate.force,
+                location=estimate.location, quality=quality))
         latency = loop.time() - start
         self.telemetry.histogram("serve.latency_seconds").observe(latency)
         self.telemetry.counter("serve.responses").increment()

@@ -631,3 +631,144 @@ class TestClientContracts:
         payload = json.loads(response.body.decode("utf-8"))
         assert payload["sequence"] == 3
         assert payload["sensor_id"] == "s"
+
+
+class TestTraceSurface:
+    """Trace propagation at the network edge (W3C traceparent).
+
+    Every HTTP response carries ``x-repro-trace-id``; every WS reply
+    (estimate or error envelope) carries ``trace_id``; a caller-sent
+    traceparent — HTTP header or WS message key — continues the
+    caller's trace so the echoed ID matches the one they minted.
+    """
+
+    def test_every_http_response_carries_trace_id(self, model_900):
+        async def scenario():
+            gateway = Gateway(_service(model_900),
+                              tenants=TenantTable(_tenants(1)))
+            async with gateway:
+                host, port = gateway.address
+                ok = await http_request(
+                    host, port, "POST", "/v1/estimate",
+                    payload=_request("s", 0).to_dict(),
+                    token="token-0")
+                health = await http_request(host, port, "GET",
+                                            "/healthz")
+                lost = await http_request(host, port, "GET",
+                                          "/v2/nothing",
+                                          token="token-0")
+                bad = await http_request(
+                    host, port, "POST", "/v1/estimate",
+                    payload={"sensor_id": "s"}, token="token-0")
+                denied = await http_request(
+                    host, port, "POST", "/v1/estimate",
+                    payload=_request("s", 1).to_dict())
+                return ok, health, lost, bad, denied
+
+        responses = asyncio.run(scenario())
+        assert [r.status for r in responses] \
+            == [200, 200, 404, 400, 401]
+        trace_ids = [r.headers["x-repro-trace-id"] for r in responses]
+        for trace_id in trace_ids:
+            assert len(trace_id) == 32
+            int(trace_id, 16)
+        assert len(set(trace_ids)) == len(trace_ids)
+
+    def test_http_traceparent_continues_the_trace(self, model_900):
+        sent_trace = "ab" * 16
+        traceparent = f"00-{sent_trace}-{'cd' * 8}-01"
+
+        async def scenario():
+            gateway = Gateway(_service(model_900),
+                              tenants=TenantTable(_tenants(1)))
+            async with gateway:
+                host, port = gateway.address
+                reader, writer = await asyncio.open_connection(
+                    host, port)
+                from repro.gateway import http as gw_http
+
+                body = json.dumps(
+                    _request("s", 0).to_dict()).encode("utf-8")
+                writer.write(gw_http.render_request(
+                    "POST", "/v1/estimate",
+                    headers={"authorization": "Bearer token-0",
+                             "content-type": "application/json",
+                             "traceparent": traceparent},
+                    body=body))
+                await writer.drain()
+                response = await gw_http.read_response(
+                    reader, GatewayLimits())
+                writer.close()
+                await writer.wait_closed()
+                return response
+
+        response = asyncio.run(scenario())
+        assert response.status == 200
+        assert response.headers["x-repro-trace-id"] == sent_trace
+
+    def test_ws_replies_carry_trace_id(self, model_900):
+        async def scenario():
+            gateway = Gateway(_service(model_900),
+                              tenants=TenantTable(_tenants(1)))
+            async with gateway:
+                host, port = gateway.address
+                client = await WebSocketClient.connect(
+                    host, port, token="token-0")
+                reply, _ = await estimate_over_ws(
+                    client, _request("s", 0).to_dict())
+                await client.send_json({"type": "estimate",
+                                        "request": {"sensor_id": "s"}})
+                error = await client.recv_json()
+                await client.close()
+                return reply, error
+
+        reply, error = asyncio.run(scenario())
+        assert reply["type"] == "estimate"
+        assert len(reply["trace_id"]) == 32
+        assert error["type"] == "error"
+        assert error["code"] == "protocol"
+        assert len(error["trace_id"]) == 32
+        assert error["trace_id"] != reply["trace_id"]
+
+    def test_ws_traceparent_continues_the_trace(self, model_900):
+        sent_trace = "12" * 16
+        traceparent = f"00-{sent_trace}-{'34' * 8}-01"
+
+        async def scenario():
+            gateway = Gateway(_service(model_900),
+                              tenants=TenantTable(_tenants(1)))
+            async with gateway:
+                host, port = gateway.address
+                client = await WebSocketClient.connect(
+                    host, port, token="token-0")
+                await client.send_json({
+                    "type": "estimate",
+                    "traceparent": traceparent,
+                    "request": _request("s", 0).to_dict()})
+                reply = await client.recv_json()
+                await client.close()
+                return reply
+
+        reply = asyncio.run(scenario())
+        assert reply["type"] == "estimate"
+        assert reply["trace_id"] == sent_trace
+
+    def test_healthz_reports_slo_detail(self, model_900):
+        async def scenario():
+            gateway = Gateway(_service(model_900),
+                              tenants=TenantTable(_tenants(1)))
+            async with gateway:
+                host, port = gateway.address
+                await http_request(
+                    host, port, "POST", "/v1/estimate",
+                    payload=_request("s", 0).to_dict(),
+                    token="token-0")
+                return await http_request(host, port, "GET",
+                                          "/healthz")
+
+        health = asyncio.run(scenario()).json()
+        assert health["status"] in ("ok", "degraded")
+        names = {status["name"] for status in health["slo"]}
+        assert names == {"gateway-availability", "serve-latency"}
+        for status in health["slo"]:
+            assert "alerting" in status and "burn" in status

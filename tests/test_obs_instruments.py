@@ -4,7 +4,9 @@ from __future__ import annotations
 
 import pytest
 
+from repro.errors import ObservabilityError
 from repro.obs import (
+    Histogram,
     MemorySink,
     Registry,
     active,
@@ -138,3 +140,77 @@ class TestObserved:
         mine = Registry()
         with observed(registry=mine) as registry:
             assert registry is mine
+
+
+class TestSpanStatus:
+    def test_ok_span_has_explicit_status(self):
+        sink = MemorySink()
+        registry = Registry(sink)
+        with registry.span("stage"):
+            pass
+        event = sink.events[0]
+        assert event["status"] == "ok"
+        assert event["error"] is None
+        assert "error_message" not in event
+
+    def test_error_span_records_message_not_just_type(self):
+        sink = MemorySink()
+        registry = Registry(sink)
+        with pytest.raises(ValueError):
+            with registry.span("stage"):
+                raise ValueError("bad frame at index 7")
+        event = sink.events[0]
+        assert event["status"] == "error"
+        assert event["error"] == "ValueError"
+        assert event["error_message"] == "bad frame at index 7"
+
+
+class TestHistogramMerge:
+    def test_merge_adds_counts_and_widens_extremes(self):
+        left = Histogram("h", (1.0, 2.0))
+        right = Histogram("h", (1.0, 2.0))
+        left.observe(0.5)
+        right.observe(1.5)
+        right.observe(9.0)
+        left.merge(right)
+        assert left.count == 3
+        assert left.total == pytest.approx(11.0)
+        assert left.minimum == pytest.approx(0.5)
+        assert left.maximum == pytest.approx(9.0)
+
+    def test_merge_empty_other_keeps_extremes(self):
+        left = Histogram("h", (1.0,))
+        left.observe(0.25)
+        left.merge(Histogram("h", (1.0,)))
+        assert left.count == 1
+        assert left.minimum == pytest.approx(0.25)
+
+    def test_merge_rejects_mismatched_bounds(self):
+        with pytest.raises(ObservabilityError):
+            Histogram("h", (1.0,)).merge(Histogram("h", (2.0,)))
+
+
+class TestMergeSnapshot:
+    def test_counters_sum_and_histograms_merge(self):
+        parent = Registry()
+        parent.counter("c").increment(2)
+        parent.histogram("h", (1.0,)).observe(0.5)
+        child = Registry()
+        child.counter("c").increment(3)
+        child.counter("only_child").increment()
+        child.gauge("g").set(7.0)
+        child.histogram("h", (1.0,)).observe(2.0)
+        child.histogram("h2", (1.0,)).observe(0.1)
+        parent.merge_snapshot(child.snapshot())
+        snapshot = parent.snapshot()
+        assert snapshot["counters"]["c"] == 5
+        assert snapshot["counters"]["only_child"] == 1
+        assert snapshot["gauges"]["g"] == 7.0
+        assert snapshot["histograms"]["h"]["count"] == 2
+        assert snapshot["histograms"]["h2"]["count"] == 1
+
+    def test_empty_snapshot_is_a_noop(self):
+        parent = Registry()
+        parent.counter("c").increment()
+        parent.merge_snapshot({})
+        assert parent.snapshot()["counters"]["c"] == 1

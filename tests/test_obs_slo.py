@@ -1,0 +1,267 @@
+"""SLO objectives, multi-window burn-rate alerting, the CLI gate."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ObservabilityError
+from repro.obs.slo import (
+    DEFAULT_WINDOWS,
+    Slo,
+    SloMonitor,
+    default_slos,
+    evaluate_report,
+    evaluate_slo,
+    evaluate_snapshot,
+    render_statuses,
+    report_slos,
+)
+
+_AVAIL = Slo(name="avail", kind="availability", target=0.99,
+             total=("requests",), bad=("errors",))
+_LATENCY = Slo(name="lat", kind="latency", target=0.9,
+               histogram="latency", threshold_s=0.1)
+
+
+def _snapshot(requests=0, errors=0, latency=None):
+    snapshot = {"counters": {"requests": requests, "errors": errors},
+                "gauges": {}, "histograms": {}}
+    if latency is not None:
+        fast, slow = latency
+        snapshot["histograms"]["latency"] = {
+            "name": "latency", "bounds": [0.1, 1.0],
+            "counts": [fast, slow, 0], "count": fast + slow,
+            "sum": 0.0, "mean": 0.0, "min": 0.0, "max": 1.0,
+        }
+    return snapshot
+
+
+class TestSloValidation:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ObservabilityError):
+            Slo(name="x", kind="vibes")
+
+    def test_rejects_target_out_of_range(self):
+        with pytest.raises(ObservabilityError):
+            Slo(name="x", kind="availability", target=1.0)
+
+    def test_report_kind_needs_path(self):
+        with pytest.raises(ObservabilityError):
+            Slo(name="x", kind="report")
+
+
+class TestPointInTime:
+    def test_no_traffic_is_compliant(self):
+        status = evaluate_slo(_AVAIL, _snapshot())
+        assert status["ok"] and status["no_data"]
+        assert status["compliance"] is None
+        assert status["budget_remaining"] == 1.0
+
+    def test_availability_math(self):
+        status = evaluate_slo(_AVAIL,
+                              _snapshot(requests=1000, errors=15))
+        assert status["compliance"] == pytest.approx(0.985)
+        assert not status["ok"]
+        assert status["budget_remaining"] == 0.0
+
+    def test_availability_within_budget(self):
+        status = evaluate_slo(_AVAIL, _snapshot(requests=1000, errors=2))
+        assert status["ok"]
+        assert status["budget_remaining"] == pytest.approx(0.8)
+
+    def test_latency_from_bucket_counts(self):
+        status = evaluate_slo(_LATENCY,
+                              _snapshot(latency=(95, 5)))
+        assert status["compliance"] == pytest.approx(0.95)
+        assert status["ok"]
+        failing = evaluate_slo(_LATENCY, _snapshot(latency=(80, 20)))
+        assert not failing["ok"]
+
+    def test_evaluate_snapshot_skips_report_kind(self):
+        slos = (_AVAIL,
+                Slo(name="r", kind="report", path="a.b", upper_bound=1))
+        statuses = evaluate_snapshot(slos, _snapshot(requests=10))
+        assert [status["name"] for status in statuses] == ["avail"]
+
+
+class TestReportEvaluation:
+    def test_report_bounds(self):
+        slo = Slo(name="parity", kind="report",
+                  path="parity.max_force_delta_n", upper_bound=0.0)
+        ok = evaluate_report([slo],
+                             {"parity": {"max_force_delta_n": 0.0}})
+        assert ok[0]["ok"]
+        bad = evaluate_report([slo],
+                              {"parity": {"max_force_delta_n": 0.5}})
+        assert not bad[0]["ok"]
+
+    def test_missing_path_is_no_data_failure(self):
+        slo = Slo(name="parity", kind="report", path="nope.nothing",
+                  upper_bound=0.0)
+        status = evaluate_report([slo], {})[0]
+        assert not status["ok"] and status["no_data"]
+
+    def test_counter_slos_read_the_telemetry_block(self):
+        report = {"telemetry": _snapshot(requests=100, errors=0)}
+        statuses = evaluate_report([_AVAIL], report)
+        assert statuses[0]["ok"] and not statuses[0]["no_data"]
+
+    def test_builtin_report_slos_pass_on_bench_report(self):
+        report = {
+            "telemetry": {
+                "counters": {"serve.requests": 512, "serve.rejected": 0},
+                "histograms": {
+                    "serve.latency_seconds": {
+                        "name": "serve.latency_seconds",
+                        "bounds": [0.1, 0.3, 1.0],
+                        "counts": [500, 12, 0, 0], "count": 512,
+                        "sum": 1.0, "mean": 0.0, "min": 0.0, "max": 0.2,
+                    },
+                },
+            },
+            "parity": {"max_force_delta_n": 0.0,
+                       "max_location_delta_m": 0.0},
+            "speedup_vs_serial": 2.5,
+        }
+        statuses = evaluate_report(report_slos(), report)
+        assert all(status["ok"] for status in statuses)
+        assert len(statuses) == 5
+
+
+class TestBurnRates:
+    def _monitor(self, windows=DEFAULT_WINDOWS):
+        clock = {"now": 0.0}
+        monitor = SloMonitor((_AVAIL,), windows=windows,
+                             clock=lambda: clock["now"])
+        return monitor, clock
+
+    def test_no_samples_is_quiet(self):
+        monitor, _ = self._monitor()
+        statuses = monitor.evaluate()
+        assert statuses[0]["burn"] == []
+        assert not statuses[0]["alerting"]
+
+    def test_single_sample_has_no_burn(self):
+        monitor, _ = self._monitor()
+        statuses = monitor.observe(_snapshot(requests=10))
+        for burn in statuses[0]["burn"]:
+            assert burn["burn_rate"] is None
+        assert not statuses[0]["alerting"]
+
+    def test_fast_burn_alerts_when_all_windows_burn(self):
+        monitor, clock = self._monitor()
+        monitor.observe(_snapshot(requests=1000, errors=0))
+        clock["now"] = 60.0
+        # 50% error rate over the window = 50x budget velocity for a
+        # 99% objective — above both the 14.4x and 6x factors.
+        statuses = monitor.observe(_snapshot(requests=1200,
+                                             errors=100))
+        status = statuses[0]
+        rates = [burn["burn_rate"] for burn in status["burn"]]
+        assert all(rate == pytest.approx(50.0) for rate in rates)
+        assert status["alerting"]
+
+    def test_slow_clean_window_vetoes_the_alert(self):
+        monitor, clock = self._monitor(
+            windows=((60.0, 14.4), (3600.0, 6.0)))
+        monitor.observe(_snapshot(requests=1000, errors=0))
+        clock["now"] = 1800.0
+        monitor.observe(_snapshot(requests=101000, errors=10))
+        clock["now"] = 1830.0
+        # Short window burns hot; the hour window has absorbed the
+        # clean history, so its rate sits under 6x and vetoes.
+        statuses = monitor.observe(_snapshot(requests=101100,
+                                             errors=40))
+        status = statuses[0]
+        short, long = status["burn"]
+        assert short["alerting"]
+        assert not long["alerting"]
+        assert not status["alerting"]
+
+    def test_counter_reset_does_not_go_negative(self):
+        monitor, clock = self._monitor()
+        monitor.observe(_snapshot(requests=100, errors=50))
+        clock["now"] = 10.0
+        statuses = monitor.observe(_snapshot(requests=200, errors=0))
+        for burn in statuses[0]["burn"]:
+            if burn["burn_rate"] is not None:
+                assert burn["burn_rate"] == 0.0
+
+    def test_report_kind_slos_are_ignored(self):
+        monitor = SloMonitor(report_slos())
+        assert all(slo.kind != "report" for slo in monitor.slos)
+
+    def test_default_slos_cover_gateway_and_latency(self):
+        names = {slo.name for slo in default_slos()}
+        assert names == {"gateway-availability", "serve-latency"}
+
+
+class TestRender:
+    def test_table_marks_failures_and_alerts(self):
+        statuses = evaluate_report(report_slos(), {
+            "telemetry": _snapshot(),
+            "parity": {"max_force_delta_n": 1.0,
+                       "max_location_delta_m": 0.0},
+            "speedup_vs_serial": 2.0,
+        })
+        table = render_statuses(statuses)
+        assert "FAIL" in table
+        assert "parity-force" in table
+
+    def test_burn_alert_annotated(self):
+        status = dict(evaluate_slo(_AVAIL,
+                                   _snapshot(requests=100, errors=0)),
+                      alerting=True)
+        assert "[BURN ALERT]" in render_statuses([status])
+
+
+class TestSloCli:
+    def _write_report(self, tmp_path, **overrides):
+        report = {
+            "telemetry": {
+                "counters": {"serve.requests": 100, "serve.rejected": 0},
+                "histograms": {
+                    "serve.latency_seconds": {
+                        "name": "serve.latency_seconds",
+                        "bounds": [0.1, 0.3],
+                        "counts": [100, 0, 0], "count": 100,
+                        "sum": 1.0, "mean": 0.01, "min": 0.0,
+                        "max": 0.05,
+                    },
+                },
+            },
+            "parity": {"max_force_delta_n": 0.0,
+                       "max_location_delta_m": 0.0},
+            "speedup_vs_serial": 1.8,
+        }
+        report.update(overrides)
+        path = tmp_path / "BENCH_serve.json"
+        path.write_text(json.dumps(report))
+        return path
+
+    def test_passing_report_exits_zero(self, tmp_path, capsys):
+        path = self._write_report(tmp_path)
+        assert main(["slo", "--input", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "serve-latency" in out
+        assert "FAIL" not in out
+
+    def test_violated_report_exits_one(self, tmp_path, capsys):
+        path = self._write_report(
+            tmp_path, parity={"max_force_delta_n": 0.7,
+                              "max_location_delta_m": 0.0})
+        assert main(["slo", "--input", str(path)]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_json_output(self, tmp_path, capsys):
+        path = self._write_report(tmp_path)
+        assert main(["slo", "--input", str(path), "--json"]) == 0
+        statuses = json.loads(capsys.readouterr().out)
+        assert {status["name"] for status in statuses} \
+            == {slo.name for slo in report_slos()}
+
+    def test_missing_report_fails(self, tmp_path):
+        assert main(["slo", "--input", str(tmp_path / "nope.json")]) == 1

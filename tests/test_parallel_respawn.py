@@ -91,3 +91,56 @@ class TestWorkerRespawn:
     def test_max_respawns_validation(self):
         with pytest.raises(ConfigurationError):
             CampaignExecutor(workers=1, max_respawns=-1)
+
+
+def _instrumented_trial(value):
+    """Trial that exercises every instrument kind in the worker."""
+    from repro.obs.registry import active
+
+    obs = active()
+    if obs is not None:
+        obs.counter("trial.units").increment(value)
+        obs.counter("trial.calls").increment()
+        obs.histogram("trial.value", (2.0, 5.0)).observe(float(value))
+    return value
+
+
+class TestWorkerTelemetryHomecoming:
+    """Worker-process telemetry merges into the parent registry.
+
+    Each trial runs under a fresh registry in its worker, and the
+    executor ships the snapshot home in the result payload — so the
+    parent's counters equal the sum over all trials and histogram
+    observations survive the process boundary, with nothing lost.
+    """
+
+    def test_no_counts_lost_across_processes(self):
+        values = list(range(1, 9))
+        with observed() as registry:
+            execution = CampaignExecutor(workers=2).run(
+                _instrumented_trial, [(value,) for value in values])
+        assert execution.results == values
+        if execution.mode != "parallel":
+            pytest.skip(f"pool unavailable: {execution.fallback_reason}")
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["trial.calls"] == len(values)
+        assert snapshot["counters"]["trial.units"] == sum(values)
+        histogram = snapshot["histograms"]["trial.value"]
+        assert histogram["count"] == len(values)
+        assert histogram["sum"] == pytest.approx(sum(values))
+        assert histogram["min"] == pytest.approx(min(values))
+        assert histogram["max"] == pytest.approx(max(values))
+
+    def test_respawned_campaign_still_merges_counts(self):
+        values = list(range(6))
+        with observed() as registry:
+            with inject(_crash_plan(2)):
+                execution = CampaignExecutor(workers=2).run(
+                    _instrumented_trial,
+                    [(value,) for value in values])
+        assert execution.mode == "parallel"
+        assert execution.results == values
+        counters = registry.snapshot()["counters"]
+        assert counters["campaign.worker_respawns"] == 1
+        assert counters["trial.calls"] == len(values)
+        assert counters["trial.units"] == sum(values)
