@@ -31,6 +31,7 @@ from typing import Dict, List, Optional, Tuple
 LOWER_IS_BETTER = frozenset({
     "gateway_p99_latency_ms",
     "gateway_p50_latency_ms",
+    "fleet_p99_latency_ms",
 })
 
 
@@ -47,6 +48,20 @@ def extract_metrics(report: dict, absolute: bool = False
     if absolute and report.get("scalar_seconds") and "n_samples" in report:
         metrics["scalar_inversions_per_s"] = (
             report["n_samples"] / report["scalar_seconds"])
+    # BENCH_estimator.json campaign block: warm- and cold-pool
+    # speedups over the acquisition-paced serial campaign.  Both are
+    # machine-normalized ratios (and the workload is paced by sleeps,
+    # not host compute), so they are always gated — the original
+    # 0.52x parallel regression shipped precisely because this block
+    # was invisible to CI.
+    campaign = report.get("campaign")
+    if isinstance(campaign, dict):
+        if "parallel_speedup" in campaign:
+            metrics["campaign_parallel_speedup"] = float(
+                campaign["parallel_speedup"])
+        if "cold_speedup" in campaign:
+            metrics["campaign_cold_speedup"] = float(
+                campaign["cold_speedup"])
     # BENCH_cache.json shape.
     if "warm_speedup" in report:
         metrics["warm_speedup"] = float(report["warm_speedup"])
@@ -85,6 +100,26 @@ def extract_metrics(report: dict, absolute: bool = False
                 key = f"{percentile}_latency_ms"
                 if key in gateway:
                     metrics[f"gateway_{key}"] = float(gateway[key])
+    # BENCH_fleet.json shape.  The sharded-vs-single ratio and the
+    # ring balance are machine-normalized; parity is the bit-identical
+    # contract collapsed to 1.0/0.0, so any nonzero delta fails the
+    # gate outright (a 1.0 baseline cannot tolerate a 0.0).
+    if "sharded_vs_single" in report:
+        metrics["sharded_vs_single"] = float(report["sharded_vs_single"])
+        if "shard_balance" in report:
+            metrics["fleet_shard_balance"] = float(
+                report["shard_balance"])
+        parity = report.get("parity", {})
+        if parity:
+            metrics["fleet_parity_ok"] = float(
+                parity.get("max_force_delta_n", 1.0) == 0.0
+                and parity.get("max_location_delta_m", 1.0) == 0.0
+                and parity.get("touched_match", False))
+        if absolute and "fleet" in report:
+            metrics["fleet_throughput_rps"] = float(
+                report["fleet"]["throughput_rps"])
+            metrics["fleet_p99_latency_ms"] = float(
+                report["fleet"]["latency_p99_s"]) * 1e3
     # BENCH_serve.json shape.
     if "speedup_vs_serial" in report:
         metrics["speedup_vs_serial"] = float(report["speedup_vs_serial"])

@@ -8,6 +8,7 @@ Commands:
     demo        One-command end-to-end demo (build, calibrate, read).
     report      Run every paper-figure runner, write REPORT.md.
     serve-bench Drive the async inference service with synthetic load.
+    fleet-bench Drive the sharded fleet and check single-shard parity.
     gateway     Serve the inference service over HTTP/WebSocket sockets.
     gateway-bench  Load-test the gateway through real loopback sockets.
     chaos       Run the serve campaign under an armed fault plan.
@@ -194,6 +195,48 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         print(profiler.report())
     path = write_report(report, args.output)
     print(f"Wrote {path}")
+    return 0
+
+
+def _cmd_fleet_bench(args: argparse.Namespace) -> int:
+    from repro.serve import LoadProfile, write_report
+    from repro.serve.fleet import (
+        FleetProfile,
+        run_fleet_benchmark,
+        summarize_fleet,
+    )
+
+    profile = FleetProfile(
+        load=LoadProfile(
+            sensors=args.sensors,
+            requests_per_sensor=args.requests,
+            max_batch=args.max_batch,
+            max_delay_s=args.max_delay_ms * 1e-3,
+            carrier_frequency=args.carrier,
+            seed=args.seed,
+            arrival=args.arrival,
+            arrival_rate_rps=args.arrival_rate,
+            pareto_alpha=args.pareto_alpha,
+        ),
+        shards=args.shards,
+        vnodes=args.vnodes,
+    )
+    logger.info(
+        "driving %d shards with %d requests (%d sensors x %d samples, "
+        "%s arrivals)",
+        profile.shards, profile.load.total_requests,
+        profile.load.sensors, profile.load.requests_per_sensor,
+        profile.load.arrival)
+    report = run_fleet_benchmark(profile)
+    print(summarize_fleet(report))
+    path = write_report(report, args.output)
+    print(f"Wrote {path}")
+    if report["parity"]["max_force_delta_n"] != 0.0 or \
+            report["parity"]["max_location_delta_m"] != 0.0 or \
+            not report["parity"]["touched_match"]:
+        logger.error("sharded fleet is NOT bit-identical to the "
+                     "single-shard reference")
+        return 1
     return 0
 
 
@@ -575,6 +618,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="print a per-stage hotspot profile of the bench run")
     _add_arrival_arguments(serve_bench)
 
+    fleet_bench = sub.add_parser(
+        "fleet-bench",
+        help="benchmark the consistent-hash sharded fleet vs one shard")
+    fleet_bench.add_argument("--sensors", type=int, default=1024,
+                             help="simulated sensor streams "
+                                  "(default 1024; nightly runs 100000)")
+    fleet_bench.add_argument("--requests", type=int, default=4,
+                             help="samples per stream (default 4)")
+    fleet_bench.add_argument("--shards", type=int, default=4,
+                             help="service shards / worker threads "
+                                  "(default 4)")
+    fleet_bench.add_argument("--vnodes", type=int, default=64,
+                             help="virtual nodes per shard on the hash "
+                                  "ring (default 64)")
+    fleet_bench.add_argument("--max-batch", type=int, default=32,
+                             help="micro-batch flush size (default 32)")
+    fleet_bench.add_argument("--max-delay-ms", type=float, default=2.0,
+                             help="micro-batch flush deadline [ms]")
+    fleet_bench.add_argument("--carrier", type=float, default=900e6)
+    fleet_bench.add_argument("--seed", type=int, default=7)
+    fleet_bench.add_argument(
+        "--output", default="benchmarks/results/BENCH_fleet.json",
+        help="JSON report path")
+    _add_arrival_arguments(fleet_bench)
+
     gateway = sub.add_parser(
         "gateway",
         help="serve the inference service over HTTP/WebSocket")
@@ -712,6 +780,7 @@ _COMMANDS = {
     "demo": _cmd_demo,
     "report": _cmd_report,
     "serve-bench": _cmd_serve_bench,
+    "fleet-bench": _cmd_fleet_bench,
     "gateway": _cmd_gateway,
     "gateway-bench": _cmd_gateway_bench,
     "chaos": _cmd_chaos,

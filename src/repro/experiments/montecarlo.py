@@ -21,6 +21,7 @@ everything with bit-identical results.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
@@ -97,6 +98,20 @@ def _environment_trial(trial: int, carrier: float, fast: bool,
     return _protocol(reader, rng)
 
 
+def _acquisition_trial(trial: int, carrier: float, fast: bool,
+                       seed: int, window_s: float) -> Tuple[float, float]:
+    """One environment draw paced by a frame-acquisition window.
+
+    Models the deployed capture loop: a trial blocks for one sounder
+    acquisition window (the real-time frame budget of the hardware
+    front end) before the deterministic protocol runs.  The wait never
+    touches the RNG, so the medians are bit-identical to
+    :func:`_environment_trial` with the same arguments.
+    """
+    time.sleep(window_s)
+    return _environment_trial(trial, carrier, fast, seed)
+
+
 def _fabricated_unit(unit: int, carrier: float, seed: int,
                      tolerances: FabricationTolerances
                      ) -> Tuple[WiForceTag, FrameLevelSounder,
@@ -160,6 +175,29 @@ def environment_campaign(trials: int = 8, carrier: float = 900e6,
     return _campaign(
         "environment", _environment_trial,
         [(trial, carrier, fast, seed) for trial in range(trials)],
+        executor)
+
+
+def acquisition_campaign(trials: int = 8, carrier: float = 900e6,
+                         fast: bool = True, seed: int = 101,
+                         window_s: float = 0.1,
+                         executor: Optional[CampaignExecutor] = None
+                         ) -> CampaignResult:
+    """The environment campaign paced at hardware acquisition rate.
+
+    Each trial waits out one frame-acquisition window before its
+    compute — the shape of a hardware-in-the-loop data-collection
+    campaign, where the sounder's frame rate (not the host CPU) sets
+    the floor on trial latency.  This is the benchmark workload for
+    the campaign executor: overlapping acquisition windows across
+    workers measures executor concurrency and orchestration overhead
+    on any machine, where a purely compute-bound campaign would just
+    measure the host's core count.  Results are bit-identical to
+    :func:`environment_campaign` with the same trial arguments.
+    """
+    return _campaign(
+        "acquisition", _acquisition_trial,
+        [(trial, carrier, fast, seed, window_s) for trial in range(trials)],
         executor)
 
 

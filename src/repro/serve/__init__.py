@@ -7,6 +7,12 @@ telemetry.  See DESIGN.md ("Serving architecture") for the data flow
 and README.md ("Serving") for the quickstart.
 """
 
+from repro.serve.fleet import (
+    FleetHarness,
+    FleetProfile,
+    run_fleet_benchmark,
+    summarize_fleet,
+)
 from repro.serve.loadgen import (
     LoadProfile,
     generate_requests,
@@ -27,6 +33,7 @@ from repro.serve.scheduler import (
 )
 from repro.serve.service import InferenceService
 from repro.serve.session import SensorSession, SessionManager
+from repro.serve.shard import HashRing, ShardedInferenceService
 from repro.serve.telemetry import (
     Counter,
     Histogram,
@@ -42,6 +49,9 @@ __all__ = [
     "Counter",
     "EstimateRequest",
     "EstimateResponse",
+    "FleetHarness",
+    "FleetProfile",
+    "HashRing",
     "Histogram",
     "InferenceService",
     "LoadProfile",
@@ -52,12 +62,15 @@ __all__ = [
     "SensorConfig",
     "SensorSession",
     "SessionManager",
+    "ShardedInferenceService",
     "Span",
     "Telemetry",
     "TelemetrySink",
     "generate_requests",
     "run_benchmark",
+    "run_fleet_benchmark",
     "run_service_load",
     "summarize",
+    "summarize_fleet",
     "write_report",
 ]
