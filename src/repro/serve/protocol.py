@@ -26,7 +26,7 @@ import json
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.core.estimator import ForceLocationEstimate
+from repro.core.estimator import ESTIMATOR_BACKENDS, ForceLocationEstimate
 from repro.errors import ProtocolError
 
 #: Exception types a decoder converts into :class:`ProtocolError`.
@@ -64,11 +64,16 @@ class SensorConfig:
         carrier_frequency: Calibration carrier [Hz].
         fast: Reduced-resolution contact map (tests / demos).
         touch_threshold_deg: No-contact classification threshold.
+        backend: Inversion strategy (``"grid"`` | ``"surrogate"``; see
+            :func:`repro.core.estimator.build_estimator`).  Part of
+            the cache key, so sensors on different backends never
+            share an estimator or a micro-batch.
     """
 
     carrier_frequency: float = 900e6
     fast: bool = True
     touch_threshold_deg: float = 5.0
+    backend: str = "grid"
 
     def to_dict(self) -> dict:
         """JSON-ready dict (plain python scalars only)."""
@@ -76,6 +81,7 @@ class SensorConfig:
             "carrier_frequency": float(self.carrier_frequency),
             "fast": bool(self.fast),
             "touch_threshold_deg": float(self.touch_threshold_deg),
+            "backend": str(self.backend),
         }
 
     @classmethod
@@ -83,22 +89,29 @@ class SensorConfig:
         """Inverse of :meth:`to_dict`; missing keys take defaults.
 
         Raises:
-            ProtocolError: The payload is not a dict or a field does
-                not coerce to its wire type.
+            ProtocolError: The payload is not a dict, a field does
+                not coerce to its wire type, or ``backend`` names an
+                unknown inversion strategy.
         """
         payload = _require_dict(payload, "sensor config")
         defaults = cls()
         try:
-            return cls(
+            config = cls(
                 carrier_frequency=float(payload.get(
                     "carrier_frequency", defaults.carrier_frequency)),
                 fast=bool(payload.get("fast", defaults.fast)),
                 touch_threshold_deg=float(payload.get(
                     "touch_threshold_deg", defaults.touch_threshold_deg)),
+                backend=str(payload.get("backend", defaults.backend)),
             )
         except _DECODE_ERRORS as exc:
             raise ProtocolError(
                 f"malformed sensor config: {exc}") from exc
+        if config.backend not in ESTIMATOR_BACKENDS:
+            raise ProtocolError(
+                f"unknown estimator backend {config.backend!r}; "
+                f"expected one of {ESTIMATOR_BACKENDS}")
+        return config
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,55 @@
+"""Learned amortized inversion (the ``surrogate`` estimator backend).
+
+The sim-to-real loop from PAPERS.md, closed over this repo's own
+simulator: :mod:`repro.surrogate.data` sweeps (force, location, SNR)
+through the wireless stack as a content-addressed training-data
+factory, :mod:`repro.surrogate.model` fits a pure-numpy ridge inverse
+on polynomial + Fourier phase features with a bit-exact grid fallback
+for out-of-domain measurements, and :mod:`repro.surrogate.evaluate`
+scores it against the grid oracle (error CDFs + amortized speedup,
+``BENCH_surrogate.json``).
+
+Select it anywhere an estimator is built: ``backend="surrogate"`` on
+:func:`repro.core.estimator.build_estimator`,
+:class:`repro.core.pipeline.WiForceReader`,
+:class:`repro.serve.protocol.SensorConfig` (per request / per tenant),
+or ``--backend surrogate`` on the bench CLIs.
+"""
+
+from repro.surrogate.data import (
+    DATASET_VERSION,
+    DatasetSpec,
+    TrainingDataset,
+    build_dataset,
+)
+from repro.surrogate.evaluate import (
+    evaluate_surrogate,
+    summarize,
+    write_report,
+)
+from repro.surrogate.model import (
+    SURROGATE_MODEL_VERSION,
+    PhaseFeatureMap,
+    SurrogateEstimator,
+    SurrogateInverse,
+    build_surrogate_estimator,
+    forward_residual,
+    train_surrogate,
+)
+
+__all__ = [
+    "DATASET_VERSION",
+    "SURROGATE_MODEL_VERSION",
+    "DatasetSpec",
+    "PhaseFeatureMap",
+    "SurrogateEstimator",
+    "SurrogateInverse",
+    "TrainingDataset",
+    "build_dataset",
+    "build_surrogate_estimator",
+    "evaluate_surrogate",
+    "forward_residual",
+    "summarize",
+    "train_surrogate",
+    "write_report",
+]

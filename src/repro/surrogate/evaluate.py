@@ -1,0 +1,194 @@
+"""Parity and speedup evaluation: surrogate vs. the grid oracle.
+
+Scores the learned inverse on a held-out wireless-style workload (the
+loadgen recipe: uniform presses, model-predicted phases, Gaussian phase
+noise — *not* the training grid): force/location error CDFs for both
+backends against ground truth, the amortized batch-predict speedup over
+``invert_batch``, and the fallback rate.  The parity gate collapses the
+p95 error deltas into one normalized scalar,
+``surrogate_p95_error_delta`` — the worst of the force and location
+deltas as a fraction of their caps — which
+``benchmarks/compare_bench.py`` hard-caps at 1.0 alongside the
+ratio-gated ``surrogate_speedup``.
+
+The report is manifest-stamped (:func:`repro.obs.manifest.stamp_report`)
+and written as ``BENCH_surrogate.json`` by the CLI
+(``repro surrogate eval``) and the perf suite
+(``benchmarks/test_perf_surrogate.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from repro.core.estimator import ForceLocationEstimator
+from repro.obs.manifest import stamp_report
+from repro.obs.registry import maybe_span
+from repro.surrogate.data import DatasetSpec
+from repro.surrogate.model import (
+    SurrogateEstimator,
+    forward_residual,
+    train_surrogate,
+)
+
+#: p95 |error| regression caps vs. the grid oracle; the normalized
+#: gate metric is the worst delta as a fraction of its cap.
+FORCE_DELTA_CAP_N = 0.25
+LOCATION_DELTA_CAP_M = 1.5e-3
+
+_QUANTILES = (0.50, 0.90, 0.95, 0.99)
+
+
+def _best_of(runs: int, fn, *args) -> float:
+    """Min-of-N wall time [s] (same discipline as the perf suites)."""
+    return min(_timed(fn, *args) for _ in range(runs))
+
+
+def _timed(fn, *args) -> float:
+    start = time.perf_counter()
+    fn(*args)
+    return time.perf_counter() - start
+
+
+def _percentiles(errors: np.ndarray) -> dict:
+    return {f"p{int(q * 100)}": float(np.quantile(errors, q))
+            for q in _QUANTILES}
+
+
+def evaluate_surrogate(samples: int = 1000,
+                       carrier_frequency: float = 900e6,
+                       fast: bool = True, seed: int = 42,
+                       noise_deg: float = 1.0, best_of: int = 3,
+                       spec: Optional[DatasetSpec] = None,
+                       executor=None) -> dict:
+    """Run the full parity + speedup evaluation; returns the report.
+
+    Args:
+        samples: Held-out batch size (the speedup is measured at this
+            N — the acceptance number uses N=1000).
+        carrier_frequency / fast: Calibration identity (must match the
+            training spec's).
+        seed: Held-out workload seed.
+        noise_deg: Gaussian phase noise on the held-out phases [deg].
+        best_of: Timing repetitions (min is reported).
+        spec: Training-dataset spec; derived from the calibration
+            identity when omitted.
+        executor: Optional campaign executor for a cold training sweep.
+    """
+    from repro.experiments.scenarios import calibrated_model
+
+    model = calibrated_model(carrier_frequency, fast=fast)
+    spec = spec or DatasetSpec(carrier_frequency=carrier_frequency,
+                               fast=fast)
+    with maybe_span("surrogate.evaluate", {"samples": samples}):
+        surrogate = train_surrogate(model, spec, executor=executor)
+        grid = ForceLocationEstimator(model)
+        amortized = SurrogateEstimator(model, surrogate)
+
+        rng = np.random.default_rng(seed)
+        force_low, force_high = model.force_range
+        locations = model.locations
+        truth_force = rng.uniform(force_low, force_high, samples)
+        truth_location = rng.uniform(float(locations[0]),
+                                     float(locations[-1]), samples)
+        phi1, phi2 = model.predict_batch(truth_force, truth_location)
+        noise = np.radians(noise_deg)
+        phi1 = phi1 + rng.normal(0.0, noise, samples)
+        phi2 = phi2 + rng.normal(0.0, noise, samples)
+
+        grid_batch = grid.invert_batch(phi1, phi2)
+        surrogate_batch = amortized.invert_batch(phi1, phi2)
+        grid_seconds = _best_of(best_of, grid.invert_batch, phi1, phi2)
+        surrogate_seconds = _best_of(best_of, amortized.invert_batch,
+                                     phi1, phi2)
+
+        predicted_force, predicted_location = surrogate.predict_batch(
+            phi1, phi2)
+        residuals = forward_residual(model, predicted_force,
+                                     predicted_location, phi1, phi2)
+        confident = (surrogate.in_domain(phi1, phi2)
+                     & (residuals <= surrogate.residual_bound))
+        fallback_rate = float(1.0 - confident.mean())
+
+    grid_force_error = np.abs(grid_batch.force - truth_force)
+    grid_location_error = np.abs(grid_batch.location - truth_location)
+    surrogate_force_error = np.abs(surrogate_batch.force - truth_force)
+    surrogate_location_error = np.abs(surrogate_batch.location
+                                      - truth_location)
+    force_delta_p95 = float(np.quantile(surrogate_force_error, 0.95)
+                            - np.quantile(grid_force_error, 0.95))
+    location_delta_p95 = float(np.quantile(surrogate_location_error, 0.95)
+                               - np.quantile(grid_location_error, 0.95))
+    normalized_delta = max(force_delta_p95 / FORCE_DELTA_CAP_N,
+                           location_delta_p95 / LOCATION_DELTA_CAP_M)
+
+    report = {
+        "samples": int(samples),
+        "surrogate_speedup": float(grid_seconds / surrogate_seconds),
+        "grid_batch_seconds": float(grid_seconds),
+        "surrogate_batch_seconds": float(surrogate_seconds),
+        "surrogate_fallback_rate": fallback_rate,
+        "force_error_n": {
+            "grid": _percentiles(grid_force_error),
+            "surrogate": _percentiles(surrogate_force_error),
+        },
+        "location_error_m": {
+            "grid": _percentiles(grid_location_error),
+            "surrogate": _percentiles(surrogate_location_error),
+        },
+        "oracle_delta": {
+            "force_n": _percentiles(np.abs(surrogate_batch.force
+                                           - grid_batch.force)),
+            "location_m": _percentiles(np.abs(surrogate_batch.location
+                                              - grid_batch.location)),
+        },
+        "surrogate_p95_force_error_delta_n": force_delta_p95,
+        "surrogate_p95_location_error_delta_m": location_delta_p95,
+        "surrogate_p95_error_delta": float(normalized_delta),
+        "caps": {"force_n": FORCE_DELTA_CAP_N,
+                 "location_m": LOCATION_DELTA_CAP_M},
+        "train": {
+            "samples": int(surrogate.train_samples),
+            "residual_bound_rad": float(surrogate.residual_bound),
+            "residual_p50_rad": float(surrogate.train_residual_p50),
+            "residual_p95_rad": float(surrogate.train_residual_p95),
+        },
+    }
+    profile = {
+        "carrier_frequency": float(carrier_frequency),
+        "fast": bool(fast),
+        "seed": int(seed),
+        "noise_deg": float(noise_deg),
+        "best_of": int(best_of),
+        "dataset": spec.cache_key(),
+    }
+    report["profile"] = profile
+    return stamp_report(report, config=profile)
+
+
+def write_report(report: dict, path) -> None:
+    """Write one evaluation report as pretty JSON."""
+    Path(path).write_text(json.dumps(report, indent=2, sort_keys=True)
+                          + "\n")
+
+
+def summarize(report: dict) -> str:
+    """One-paragraph human summary of an evaluation report."""
+    return (
+        f"surrogate speedup {report['surrogate_speedup']:.1f}x over grid "
+        f"invert_batch at N={report['samples']} "
+        f"(grid {report['grid_batch_seconds'] * 1e3:.2f} ms, "
+        f"surrogate {report['surrogate_batch_seconds'] * 1e3:.2f} ms); "
+        f"p95 error delta force "
+        f"{report['surrogate_p95_force_error_delta_n'] * 1e3:+.1f} mN / "
+        f"location "
+        f"{report['surrogate_p95_location_error_delta_m'] * 1e3:+.3f} mm "
+        f"(normalized {report['surrogate_p95_error_delta']:+.3f}, "
+        f"cap 1.0); fallback rate "
+        f"{report['surrogate_fallback_rate']:.3f}"
+    )
